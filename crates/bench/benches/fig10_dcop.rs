@@ -1,0 +1,43 @@
+//! Figure 10 bench: times one DCoP coordination run (n = 100, h = 1) at
+//! representative fan-outs, and prints the paper-anchor row (H = 60)
+//! so a bench run doubles as a figure regeneration check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mss_core::prelude::*;
+
+fn dcop_session(fanout: usize, seed: u64) -> SessionOutcome {
+    let mut cfg = SessionConfig::paper_eval(fanout, seed);
+    cfg.parity_interval = 1;
+    Session::new(cfg, Protocol::Dcop).run()
+}
+
+fn bench(c: &mut Criterion) {
+    let anchor = dcop_session(60, 1);
+    println!(
+        "[fig10 anchor] H=60: rounds={} msgs_until_sync={} (paper: 2 rounds; \
+         see EXPERIMENTS.md for the message-count analysis)",
+        anchor.rounds, anchor.coord_msgs_until_active
+    );
+    assert_eq!(anchor.rounds, 2, "paper anchor: 2 rounds at H=60");
+    assert_eq!(anchor.activated, 100);
+
+    let mut g = c.benchmark_group("fig10_dcop_coordination");
+    for fanout in [2usize, 10, 60, 100] {
+        g.bench_with_input(BenchmarkId::from_parameter(fanout), &fanout, |b, &h| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                dcop_session(h, seed)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

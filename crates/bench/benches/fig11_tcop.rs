@@ -1,0 +1,50 @@
+//! Figure 11 bench: times one TCoP coordination run (n = 100, h = 1,
+//! literal pseudocode piggybacking) at representative fan-outs, and
+//! checks the paper-anchor row (H = 60 → 6 rounds, control packets in
+//! the paper's ~7400 class).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mss_core::config::Piggyback;
+use mss_core::prelude::*;
+
+fn tcop_session(fanout: usize, seed: u64) -> SessionOutcome {
+    let mut cfg = SessionConfig::paper_eval(fanout, seed);
+    cfg.parity_interval = 1;
+    cfg.piggyback = Piggyback::SelectionsOnly;
+    Session::new(cfg, Protocol::Tcop).run()
+}
+
+fn bench(c: &mut Criterion) {
+    let anchor = tcop_session(60, 1);
+    println!(
+        "[fig11 anchor] H=60: rounds={} msgs_until_sync={} (paper: 6 rounds, ≈7400 packets)",
+        anchor.rounds, anchor.coord_msgs_until_active
+    );
+    assert_eq!(anchor.rounds, 6, "paper anchor: 6 rounds at H=60");
+    assert!(
+        anchor.coord_msgs_until_active > 5_000 && anchor.coord_msgs_until_active < 15_000,
+        "control packets {} far from the paper's ~7400",
+        anchor.coord_msgs_until_active
+    );
+    assert_eq!(anchor.activated, 100);
+
+    let mut g = c.benchmark_group("fig11_tcop_coordination");
+    for fanout in [2usize, 10, 60, 100] {
+        g.bench_with_input(BenchmarkId::from_parameter(fanout), &fanout, |b, &h| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                tcop_session(h, seed)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Figure 12 bench: times a full data-plane streaming session (n = 100,
+//! h = H−1) and checks the receipt-rate anchors: DCoP ≈ H/(H−1)
+//! (paper: 1.019 at H = 60) with TCoP above it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mss_core::config::{Piggyback, Reenhance};
+use mss_core::prelude::*;
+
+fn rate_session(protocol: Protocol, fanout: usize, seed: u64) -> SessionOutcome {
+    let mut cfg = SessionConfig::paper_eval(fanout, seed);
+    cfg.data_plane = true;
+    cfg.content = ContentDesc::small(seed + 1, 400);
+    match protocol {
+        Protocol::Tcop => cfg.piggyback = Piggyback::SelectionsOnly,
+        _ => cfg.reenhance = Reenhance::None,
+    }
+    Session::new(cfg, protocol)
+        .time_limit(SimDuration::from_secs(60))
+        .run()
+}
+
+fn bench(c: &mut Criterion) {
+    let d = rate_session(Protocol::Dcop, 60, 3);
+    let t = rate_session(Protocol::Tcop, 60, 3);
+    println!(
+        "[fig12 anchor] H=60: DCoP rate={:.3} (paper 1.019), TCoP rate={:.3} (paper 1.226)",
+        d.receipt_volume_ratio, t.receipt_volume_ratio
+    );
+    assert!(d.complete && t.complete);
+    assert!(
+        (d.receipt_volume_ratio - 60.0 / 59.0).abs() < 0.01,
+        "DCoP rate {} != H/(H-1)",
+        d.receipt_volume_ratio
+    );
+    assert!(
+        t.receipt_volume_ratio > d.receipt_volume_ratio,
+        "TCoP must pay more redundancy than DCoP"
+    );
+
+    let mut g = c.benchmark_group("fig12_streaming");
+    g.sample_size(10);
+    for (proto, name) in [(Protocol::Dcop, "dcop"), (Protocol::Tcop, "tcop")] {
+        g.bench_with_input(BenchmarkId::new(name, 20), &proto, |b, &p| {
+            let mut seed = 10u64;
+            b.iter(|| {
+                seed += 1;
+                rate_session(p, 20, seed)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

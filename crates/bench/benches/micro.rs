@@ -1,0 +1,201 @@
+//! Micro-benchmarks for the hot substrate paths: parity enhancement,
+//! division, decoding, slot allocation, view operations, RNG sampling,
+//! and the event queue.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use mss_media::parity::{div_all, enhance, esq, Coding, Decoder};
+use mss_media::rs;
+use mss_media::slots::allocate;
+use mss_media::{ContentDesc, PacketSeq};
+use mss_overlay::select::select_from_complement;
+use mss_overlay::{PeerId, View};
+use mss_sim::event::{ActorId, Event, EventQueue, TimerId};
+use mss_sim::rng::SimRng;
+use mss_sim::time::SimTime;
+
+fn bench_parity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parity");
+    for l in [1_000u64, 10_000] {
+        g.throughput(Throughput::Elements(l));
+        g.bench_with_input(BenchmarkId::new("esq_h8", l), &l, |b, &l| {
+            let pkt = PacketSeq::data_range(l);
+            b.iter(|| esq(&pkt, 8));
+        });
+        g.bench_with_input(BenchmarkId::new("div16", l), &l, |b, &l| {
+            let e = esq(&PacketSeq::data_range(l), 8);
+            b.iter(|| div_all(&e, 16));
+        });
+    }
+    g.finish();
+}
+
+fn bench_decoder(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decoder");
+    let l = 2_000u64;
+    let content = ContentDesc::small(1, l);
+    let enhanced = esq(&PacketSeq::data_range(l), 8);
+    let packets: Vec<_> = enhanced
+        .iter()
+        .map(|id| (id.clone(), content.materialize(id).payload))
+        .collect();
+    g.throughput(Throughput::Elements(packets.len() as u64));
+    g.bench_function("decode_stream_with_11pct_loss", |b| {
+        b.iter(|| {
+            let mut dec = Decoder::new();
+            for (i, (id, payload)) in packets.iter().enumerate() {
+                // One loss per 9-position recovery group (h = 8 data +
+                // 1 parity): always recoverable.
+                if i % 9 == 3 {
+                    continue;
+                }
+                dec.insert(id, payload);
+            }
+            assert!(dec.missing(l).is_empty());
+            dec.known_count()
+        });
+    });
+    g.finish();
+}
+
+fn bench_rs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reed_solomon");
+    let k = 8;
+    let r = 3;
+    let shard = 1350usize; // the paper's video packet size
+    let data: Vec<Vec<u8>> = (0..k)
+        .map(|j| (0..shard).map(|b| (j * 31 + b) as u8).collect())
+        .collect();
+    let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+    g.throughput(Throughput::Bytes((k * shard) as u64));
+    g.bench_function("encode_k8_r3_1350B", |b| {
+        b.iter(|| rs::encode(&refs, r));
+    });
+    let parity = rs::encode(&refs, r);
+    g.bench_function("decode_3_losses_k8_1350B", |b| {
+        b.iter(|| {
+            let mut shards: Vec<rs::Shard> = data
+                .iter()
+                .enumerate()
+                .skip(3)
+                .map(|(j, d)| rs::Shard::Data(j, d.clone()))
+                .collect();
+            for (i, p) in parity.iter().enumerate() {
+                shards.push(rs::Shard::Parity(i, p.clone()));
+            }
+            rs::decode(k, &shards).expect("decodable")
+        });
+    });
+    g.bench_function("rs_stream_decode_2000pkts", |b| {
+        let content = ContentDesc::small(2, 2_000);
+        let enhanced = enhance(&PacketSeq::data_range(2_000), 8, true, Coding::Rs { r: 2 });
+        let packets: Vec<_> = enhanced
+            .iter()
+            .map(|id| (id.clone(), content.materialize(id).payload))
+            .collect();
+        b.iter(|| {
+            let mut dec = Decoder::new();
+            for (i, (id, payload)) in packets.iter().enumerate() {
+                if i % 10 < 2 {
+                    continue; // two losses per 10-position group
+                }
+                dec.insert(id, payload);
+            }
+            assert!(dec.missing(2_000).is_empty());
+            dec.known_count()
+        });
+    });
+    g.finish();
+}
+
+fn bench_gossip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gossip");
+    g.bench_function("membership_n256_to_convergence", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut gsp = mss_overlay::gossip::Gossip::new(
+                256,
+                1,
+                mss_overlay::gossip::GossipStyle::PushPull,
+                seed,
+            );
+            gsp.run_to_convergence(10_000).expect("converges")
+        });
+    });
+    g.finish();
+}
+
+fn bench_slots(c: &mut Criterion) {
+    let mut g = c.benchmark_group("slots");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("allocate_5ch_100k", |b| {
+        b.iter(|| allocate(&[250, 100, 40, 35, 8], 100_000));
+    });
+    g.finish();
+}
+
+fn bench_overlay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("overlay");
+    g.bench_function("view_union_1024", |b| {
+        let mut a = View::empty(1024);
+        let mut v = View::empty(1024);
+        for i in (0..1024).step_by(3) {
+            v.insert(PeerId(i));
+        }
+        b.iter(|| a.union_with(&v));
+    });
+    g.bench_function("select_60_of_1024", |b| {
+        let mut view = View::empty(1024);
+        for i in (0..1024).step_by(2) {
+            view.insert(PeerId(i));
+        }
+        let mut rng = SimRng::new(1);
+        b.iter(|| select_from_complement(&view, 60, &mut rng));
+    });
+    g.finish();
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("event_queue_10k_push_pop", |b| {
+        let mut rng = SimRng::new(7);
+        b.iter(|| {
+            let mut q: EventQueue<()> = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.push(
+                    SimTime(rng.next_u64() % 1_000_000),
+                    Event::Timer {
+                        actor: ActorId(0),
+                        timer: TimerId(i),
+                        tag: i,
+                    },
+                );
+            }
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            n
+        });
+    });
+    g.bench_function("rng_sample_60_of_100", |b| {
+        let pool: Vec<u32> = (0..100).collect();
+        let mut rng = SimRng::new(3);
+        b.iter(|| rng.sample(&pool, 60));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parity,
+    bench_decoder,
+    bench_rs,
+    bench_gossip,
+    bench_slots,
+    bench_overlay,
+    bench_kernel
+);
+criterion_main!(benches);

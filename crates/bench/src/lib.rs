@@ -1,0 +1,11 @@
+//! # mss-bench — benchmark crate
+//!
+//! Criterion benchmarks live in `benches/`:
+//!
+//! - `fig10_dcop`, `fig11_tcop`, `fig12_rate` — one per paper figure;
+//!   each first regenerates and asserts the paper's anchor row, then
+//!   times the underlying simulation,
+//! - `micro` — hot-path micro-benchmarks (parity coding, decoding, slot
+//!   allocation, views, RNG, event queue).
+//!
+//! Run with `cargo bench --workspace`.

@@ -1,0 +1,66 @@
+//! Leaf-schedule baseline — Liu & Vuong \[8\].
+//!
+//! The requesting leaf computes the complete transmission schedule
+//! itself and ships every contents peer its share. One round, `n`
+//! messages — but the messages carry explicit schedules (size
+//! proportional to the content), the leaf must know every peer's
+//! capability up front, and nothing adapts once streaming starts.
+
+use mss_sim::prelude::*;
+
+use crate::config::SessionConfig;
+use crate::msg::{Msg, ScheduleAssignment};
+use crate::peer_core::{Core, PeerReport, TAG_SEND, TAG_SWITCH};
+use crate::schedule::TxSchedule;
+use mss_overlay::{Directory, PeerId};
+
+/// A contents peer running the leaf-schedule baseline.
+pub struct SchedulePeer {
+    core: Core,
+}
+
+impl SchedulePeer {
+    /// Peer `me` of a leaf-schedule session.
+    pub fn new(me: PeerId, dir: Directory, cfg: SessionConfig) -> SchedulePeer {
+        SchedulePeer {
+            core: Core::new(me, dir, cfg),
+        }
+    }
+
+    /// Post-run state snapshot.
+    pub fn report(&self) -> PeerReport {
+        self.core.report()
+    }
+
+    fn on_assign(&mut self, ctx: &mut dyn Runtime<Msg>, a: ScheduleAssignment) {
+        let assignment = TxSchedule {
+            seq: a.sched,
+            pos: 0,
+            interval_nanos: a.interval_nanos,
+            first_delay_nanos: a.interval_nanos.saturating_mul(u64::from(a.part) + 1)
+                / u64::from(a.parts).max(1),
+        };
+        self.core.adopt(ctx, assignment);
+        self.core.record_activation(ctx, 1);
+    }
+}
+
+impl Actor<Msg> for SchedulePeer {
+    fn on_message(&mut self, ctx: &mut dyn Runtime<Msg>, _from: ActorId, msg: Msg) {
+        match msg {
+            Msg::Assign(a) => self.on_assign(ctx, a),
+            Msg::Nack(n) => self.core.on_nack(ctx, &n),
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn Runtime<Msg>, _timer: TimerId, tag: u64) {
+        match tag {
+            TAG_SEND => self.core.on_send_timer(ctx),
+            TAG_SWITCH => self.core.on_switch_timer(ctx),
+            _ => {}
+        }
+    }
+
+    mss_sim::impl_as_any!();
+}

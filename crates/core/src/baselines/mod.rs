@@ -1,0 +1,17 @@
+//! The comparison protocols of §3.1 and the paper's references \[5\]/\[8\].
+//!
+//! - [`broadcast`]: leaf floods everyone; group-communication state
+//!   exchange (Figure 4(1)),
+//! - [`centralized`]: 2PC-style controller coordination (Itaya et al. \[5\]),
+//! - [`leaf_schedule`]: leaf-computed explicit schedules (Liu & Vuong \[8\]).
+//!
+//! The unicast-chain baseline (Figure 4(2)) is [`crate::dcop::DcopPeer`]
+//! run with `H = 1`.
+
+pub mod broadcast;
+pub mod centralized;
+pub mod leaf_schedule;
+
+pub use broadcast::BroadcastPeer;
+pub use centralized::CentralizedPeer;
+pub use leaf_schedule::SchedulePeer;

@@ -1,0 +1,181 @@
+//! DCoP — the redundant distributed coordination protocol (paper §3.4).
+//!
+//! On activation (by the leaf's content request or by a parent's control
+//! packet) a contents peer starts transmitting its assigned subsequence,
+//! randomly selects up to `H` further peers it cannot rule out as dormant,
+//! and sends each a control packet carrying its view, current position
+//! (`SEQ`), rate and part assignment. A peer adopted by several parents
+//! merges the assignments (`pkt_i := pkt_i ∪ pkt_ji`). Selection stops
+//! when the view is full or the candidate pool is empty.
+//!
+//! The unicast-chain baseline of §3.1 (Fig. 4(2)) is this same actor run
+//! with `H = 1`.
+
+use std::sync::Arc;
+
+use mss_sim::prelude::*;
+
+use crate::config::SessionConfig;
+use crate::msg::{ContentRequest, ControlKind, ControlPacket, Msg};
+use crate::peer_core::{Core, PeerReport, TAG_SEND, TAG_SWITCH};
+use crate::schedule::{derived_assignment_opts, initial_assignment_opts};
+use mss_overlay::{Directory, PeerId};
+
+/// A contents peer running DCoP.
+pub struct DcopPeer {
+    core: Core,
+}
+
+impl DcopPeer {
+    /// Peer `me` of a DCoP session.
+    pub fn new(me: PeerId, dir: Directory, cfg: SessionConfig) -> DcopPeer {
+        DcopPeer {
+            core: Core::new(me, dir, cfg),
+        }
+    }
+
+    /// Post-run state snapshot.
+    pub fn report(&self) -> PeerReport {
+        self.core.report()
+    }
+
+    /// §3.4 step 2: activation by the leaf's content request.
+    fn on_request(&mut self, ctx: &mut dyn Runtime<Msg>, req: ContentRequest) {
+        if let Some(v) = &req.view {
+            self.core.view.union_with(v);
+        }
+        let assignment = match &req.weights {
+            Some(w) => crate::schedule::weighted_initial_assignment(
+                self.core.content().packets,
+                req.h as usize,
+                w,
+                req.part as usize,
+                req.interval_nanos,
+                self.core.cfg.tail_parity,
+                self.core.cfg.coding,
+            ),
+            None => initial_assignment_opts(
+                self.core.content().packets,
+                req.h as usize,
+                req.parts as usize,
+                req.part as usize,
+                req.interval_nanos,
+                self.core.cfg.tail_parity,
+                self.core.cfg.coding,
+            ),
+        };
+        self.core.adopt(ctx, assignment);
+        self.core.record_activation(ctx, req.wave);
+        self.select_and_spawn(ctx, req.wave + 1);
+    }
+
+    /// §3.4 step 3: a control packet from a parent.
+    fn on_control(&mut self, ctx: &mut dyn Runtime<Msg>, c: ControlPacket) {
+        debug_assert_eq!(c.kind, ControlKind::Activate);
+        self.core.view.insert(c.from);
+        self.core.view.union_with(&c.view);
+        let assignment = derived_assignment_opts(
+            c.sched.as_ref(),
+            c.pos as usize,
+            c.interval_nanos,
+            c.mark_delta_nanos,
+            c.h as usize,
+            c.parts as usize,
+            c.part as usize,
+            self.core.cfg.reenhance,
+            self.core.cfg.tail_parity,
+            self.core.cfg.coding,
+        );
+        let was_active = self.core.active;
+        self.core.adopt(ctx, assignment);
+        self.core.record_activation(ctx, c.wave);
+        if !was_active || self.core.cfg.reselect_on_every_control {
+            self.select_and_spawn(ctx, c.wave + 1);
+        }
+    }
+
+    /// Select up to `H` children, assign them parts of this peer's
+    /// re-divided schedule, and schedule this peer's own switch at δ.
+    fn select_and_spawn(&mut self, ctx: &mut dyn Runtime<Msg>, wave: u32) {
+        if self.core.view.is_full() {
+            return;
+        }
+        let fanout = self.core.cfg.fanout;
+        let children = self.core.select_children(fanout);
+        if children.is_empty() {
+            return; // C = φ: stop selecting.
+        }
+        let h = self.core.cfg.parity_interval;
+        let parts = children.len() + 1; // children plus this parent
+        let view = self.core.piggyback_view(&children);
+        // Divide the *effective* schedule: re-selecting before an earlier
+        // division has switched must divide that division's own part,
+        // never hand the same packets out twice.
+        let (sched, pos, mark_delta, interval, basis_is_live) = {
+            let was_pending = self.core.pending_switch.is_some();
+            let (b, p, d) = self.core.effective_basis();
+            (
+                Arc::new(b.seq.clone()),
+                p as u32,
+                d,
+                b.interval_nanos,
+                !was_pending,
+            )
+        };
+        for (j, child) in children.iter().enumerate() {
+            let packet = ControlPacket {
+                kind: ControlKind::Activate,
+                from: self.core.me,
+                wave,
+                view: view.clone(),
+                sched: sched.clone(),
+                pos,
+                interval_nanos: interval,
+                mark_delta_nanos: mark_delta,
+                part: (j + 1) as u32,
+                parts: parts as u32,
+                h: h as u32,
+                fanout: fanout as u32,
+            };
+            let to = self.core.dir.actor_of(*child);
+            self.core.send_coord(ctx, to, Msg::Control(packet));
+        }
+        // The parent keeps part 0 of the same division, switching at δ.
+        let own = derived_assignment_opts(
+            &sched,
+            pos as usize,
+            interval,
+            mark_delta,
+            h,
+            parts,
+            0,
+            self.core.cfg.reenhance,
+            self.core.cfg.tail_parity,
+            self.core.cfg.coding,
+        );
+        let live_mark = basis_is_live
+            .then(|| crate::schedule::mark_position(pos as usize, interval, mark_delta));
+        self.core.arm_switch(ctx, own, live_mark);
+    }
+}
+
+impl Actor<Msg> for DcopPeer {
+    fn on_message(&mut self, ctx: &mut dyn Runtime<Msg>, _from: ActorId, msg: Msg) {
+        match msg {
+            Msg::Request(req) => self.on_request(ctx, req),
+            Msg::Control(c) => self.on_control(ctx, c),
+            Msg::Nack(n) => self.core.on_nack(ctx, &n),
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn Runtime<Msg>, _timer: TimerId, tag: u64) {
+        match tag {
+            TAG_SEND => self.core.on_send_timer(ctx),
+            TAG_SWITCH => self.core.on_switch_timer(ctx),
+            _ => {}
+        }
+    }
+
+    mss_sim::impl_as_any!();
+}

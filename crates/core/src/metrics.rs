@@ -1,0 +1,122 @@
+//! Metric names recorded during a session and the consolidated
+//! [`SessionOutcome`] the harness consumes.
+
+use crate::config::Protocol;
+
+/// Every coordination message sent (requests, controls, probes, replies,
+/// commits) — the quantity on Figures 10/11's dotted lines.
+pub const COORD_MSGS: &str = "coord.msgs";
+/// Bytes of coordination messages.
+pub const COORD_BYTES: &str = "coord.bytes";
+/// Snapshot of [`COORD_MSGS`] taken at each first-activation; its final
+/// value is the message count *until all peers started transmitting*.
+pub const COORD_MSGS_AT_ACTIVATION: &str = "coord.msgs_at_activation";
+/// Number of contents peers that activated.
+pub const COORD_ACTIVATIONS: &str = "coord.activations";
+/// Maximum activation wave (DCoP/broadcast/unicast rounds).
+pub const COORD_MAX_WAVE: &str = "coord.max_wave";
+/// Maximum probe wave executed (TCoP; one wave = 3 protocol rounds).
+pub const COORD_PROBE_WAVES: &str = "coord.probe_waves";
+/// Snapshot of [`COORD_PROBE_WAVES`] at each first-activation: probe
+/// waves needed *to synchronize*, excluding post-activation retries.
+pub const COORD_PROBE_WAVES_AT_ACTIVATION: &str = "coord.probe_waves_at_activation";
+/// Virtual time (nanos) of the last first-activation.
+pub const COORD_LAST_ACTIVATION_NANOS: &str = "coord.last_activation_nanos";
+/// Fixed round count for protocols with a constant-round structure
+/// (centralized 2PC = 3).
+pub const COORD_FIXED_ROUNDS: &str = "coord.fixed_rounds";
+
+/// Data packets sent by contents peers.
+pub const DATA_MSGS: &str = "data.msgs";
+
+/// Consolidated result of one session run.
+#[derive(Clone, Debug)]
+pub struct SessionOutcome {
+    /// Which protocol ran.
+    pub protocol: Protocol,
+    /// Population size `n`.
+    pub n: usize,
+    /// Fan-out `H`.
+    pub fanout: usize,
+    /// Synchronization rounds, per the paper's counting (see
+    /// `session::rounds_of`).
+    pub rounds: u32,
+    /// Coordination messages until every peer had started transmitting.
+    pub coord_msgs_until_active: u64,
+    /// Coordination messages over the whole run (incl. post-activation
+    /// probing/flooding).
+    pub coord_msgs_total: u64,
+    /// Bytes of coordination traffic over the whole run.
+    pub coord_bytes: u64,
+    /// Contents peers that activated (coverage; should equal `n`).
+    pub activated: u64,
+    /// Nanoseconds from session start to the last activation.
+    pub sync_nanos: u64,
+    /// Aggregate steady-state send rate of all active peers divided by
+    /// the content rate — the paper's Figure 12 quantity, computed from
+    /// the converged schedules.
+    pub receipt_rate_analytic: f64,
+    /// Same quantity measured from actual arrivals at the leaf (None when
+    /// the data plane is disabled or too little arrived to measure).
+    pub receipt_rate_measured: Option<f64>,
+    /// Total payload bytes the leaf accepted divided by the content size —
+    /// the volume form of Figure 12's receipt rate (1.0 = no redundancy;
+    /// robust to ramp-up/tail effects that skew the mean-rate estimate).
+    pub receipt_volume_ratio: f64,
+    /// Data packets the leaf accepted.
+    pub leaf_accepted: u64,
+    /// Packets carrying nothing new (duplicate/already-decoded content).
+    pub leaf_duplicates: u64,
+    /// Packets dropped by the leaf's `ρ_s` overrun gate.
+    pub leaf_overruns: u64,
+    /// True when the leaf reconstructed every data packet byte-exactly.
+    pub complete: bool,
+    /// Nanoseconds to full reconstruction, when complete.
+    pub complete_nanos: Option<u64>,
+    /// Data packets recovered via parity rather than received directly.
+    pub recovered_via_parity: u64,
+    /// Data packets never reconstructed (0 when `complete`).
+    pub leaf_missing: u64,
+    /// Total data messages sent by peers.
+    pub data_msgs: u64,
+}
+
+impl SessionOutcome {
+    /// Messages per peer until activation — a normalized efficiency
+    /// figure.
+    pub fn msgs_per_peer(&self) -> f64 {
+        self.coord_msgs_until_active as f64 / self.n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msgs_per_peer_normalizes() {
+        let o = SessionOutcome {
+            protocol: Protocol::Dcop,
+            n: 100,
+            fanout: 10,
+            rounds: 2,
+            coord_msgs_until_active: 500,
+            coord_msgs_total: 700,
+            coord_bytes: 10_000,
+            activated: 100,
+            sync_nanos: 1,
+            receipt_rate_analytic: 1.0,
+            receipt_rate_measured: None,
+            receipt_volume_ratio: 0.0,
+            leaf_accepted: 0,
+            leaf_duplicates: 0,
+            leaf_overruns: 0,
+            complete: false,
+            complete_nanos: None,
+            recovered_via_parity: 0,
+            leaf_missing: 0,
+            data_msgs: 0,
+        };
+        assert!((o.msgs_per_peer() - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,329 @@
+//! The messages exchanged in a streaming session.
+//!
+//! Wire sizes model the paper's formats: coordination messages carry a
+//! view bit-vector (`n/8` bytes), a schedule *recipe* (the deterministic
+//! derivation — marked position, division arity, part index — not the
+//! packet list itself; a fixed-size handful of integers), rates and
+//! counters. The in-memory structs additionally carry the materialized
+//! [`PacketSeq`] for implementation convenience; a production codec would
+//! re-derive it from the recipe, so it does not count toward wire size.
+
+use std::sync::Arc;
+
+use mss_media::{Packet, PacketSeq};
+use mss_overlay::{PeerId, View};
+use mss_sim::world::SimMessage;
+
+/// The leaf's content request (`c` in §3.4 step 1).
+#[derive(Clone, Debug)]
+pub struct ContentRequest {
+    /// Activation wave (always 1 for leaf requests).
+    pub wave: u32,
+    /// Content rate `τ` expressed as per-packet interval, nanoseconds.
+    pub interval_nanos: u64,
+    /// Parity interval `h`.
+    pub h: u32,
+    /// Gossip fan-out `H`.
+    pub fanout: u32,
+    /// This recipient's part index within the initial `Div`.
+    pub part: u32,
+    /// Number of initial parts (= number of peers the leaf contacted).
+    pub parts: u32,
+    /// Under [`crate::config::Piggyback::FullView`], the set of initially
+    /// selected peers.
+    pub view: Option<View>,
+    /// Heterogeneous mode: relative bandwidths of the initially selected
+    /// peers (indexed like `part`); the recipient derives its
+    /// bandwidth-proportional share with the §2 allocator instead of the
+    /// uniform round-robin division.
+    pub weights: Option<Vec<u64>>,
+}
+
+/// What role a [`ControlPacket`] plays.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ControlKind {
+    /// DCoP control packet: activates (or re-assigns) the child
+    /// immediately.
+    Activate,
+    /// TCoP `c1`: asks the child to join this parent's subtree.
+    Probe,
+    /// TCoP `c2`: commits a confirmed child with its final part
+    /// assignment.
+    Commit,
+    /// Broadcast baseline: "I am active" state exchange (the simple group
+    /// communication of §3.1's first way).
+    Announce,
+}
+
+/// Parent→child coordination packet (`c`/`c1`/`c2` in the paper).
+#[derive(Clone, Debug)]
+pub struct ControlPacket {
+    /// Role of this packet.
+    pub kind: ControlKind,
+    /// Sending contents peer.
+    pub from: PeerId,
+    /// Activation wave this packet belongs to (leaf = wave 1).
+    pub wave: u32,
+    /// Sender's view `VW_j` (contents depend on the piggyback variant).
+    pub view: View,
+    /// The parent's current schedule — the basis for the child's postfix
+    /// computation. Carried as a recipe on the wire (see module docs);
+    /// shared via `Arc` so fanning out to many children is cheap.
+    pub sched: Arc<PacketSeq>,
+    /// `SEQ`: the parent's position in `sched` when this packet was sent
+    /// (index of the next packet to transmit).
+    pub pos: u32,
+    /// Parent's per-packet interval (its transmission rate `τ_j`).
+    pub interval_nanos: u64,
+    /// The `δ` the child must use when computing the mark (zero when the
+    /// division basis is a not-yet-live pending schedule).
+    pub mark_delta_nanos: u64,
+    /// The child's assigned part index within the coming division.
+    pub part: u32,
+    /// Division arity (`H_j + 1`: children plus the parent itself).
+    pub parts: u32,
+    /// Parity interval `h` for re-enhancement.
+    pub h: u32,
+    /// Fan-out `H` the child should use for its own selection.
+    pub fanout: u32,
+}
+
+/// TCoP `cc1`: the child's reply to a probe.
+#[derive(Clone, Debug)]
+pub struct ProbeReply {
+    /// Replying peer.
+    pub from: PeerId,
+    /// True if the child takes the prober as its parent.
+    pub accept: bool,
+    /// Echo of the probe's wave, for bookkeeping.
+    pub wave: u32,
+}
+
+/// A streamed media packet.
+#[derive(Clone, Debug)]
+pub struct DataMsg {
+    /// Sending contents peer.
+    pub from: PeerId,
+    /// The packet (data or parity) itself.
+    pub packet: Packet,
+}
+
+/// Centralized (2PC-style) baseline messages.
+#[derive(Clone, Debug)]
+pub enum TwoPhase {
+    /// Coordinator → peer: proposed assignment.
+    Prepare {
+        /// Proposed part index for the recipient.
+        part: u32,
+        /// Total parts.
+        parts: u32,
+        /// Parity interval.
+        h: u32,
+        /// Per-packet interval the recipient would stream at.
+        interval_nanos: u64,
+    },
+    /// Peer → coordinator: vote.
+    Vote {
+        /// Voting peer.
+        from: PeerId,
+        /// Readiness.
+        ok: bool,
+    },
+    /// Coordinator → peer: go / abort decision.
+    Decision {
+        /// True to start streaming.
+        commit: bool,
+    },
+}
+
+/// Leaf-schedule baseline (\[8\]): the leaf ships each peer its complete
+/// transmission schedule.
+#[derive(Clone, Debug)]
+pub struct ScheduleAssignment {
+    /// Part index of the recipient.
+    pub part: u32,
+    /// Total parts (= n).
+    pub parts: u32,
+    /// Parity interval.
+    pub h: u32,
+    /// Per-packet interval for the recipient.
+    pub interval_nanos: u64,
+    /// Explicit schedule (this baseline really does ship the schedule,
+    /// so its wire size *does* scale with content length).
+    pub sched: PacketSeq,
+}
+
+/// Leaf → contents peer: retransmission request for missing data
+/// packets (repair extension; see `config::RepairConfig`).
+#[derive(Clone, Debug)]
+pub struct Nack {
+    /// Missing data sequence numbers (bounded per round).
+    pub seqs: Vec<mss_media::Seq>,
+}
+
+/// Everything that can travel in a session.
+#[derive(Clone, Debug)]
+pub enum Msg {
+    /// Leaf → contents peer.
+    Request(ContentRequest),
+    /// Parent → child coordination.
+    Control(ControlPacket),
+    /// TCoP probe reply.
+    Reply(ProbeReply),
+    /// Contents peer → leaf media packet.
+    Data(DataMsg),
+    /// Centralized baseline traffic.
+    TwoPhase(TwoPhase),
+    /// Leaf-schedule baseline traffic.
+    Assign(ScheduleAssignment),
+    /// Repair request (leaf → peer).
+    Nack(Nack),
+}
+
+impl Msg {
+    /// True for coordination (non-data) messages — what Figures 10/11
+    /// count.
+    pub fn is_coordination(&self) -> bool {
+        !matches!(self, Msg::Data(_))
+    }
+}
+
+/// Bytes for a view bit-vector over `n` peers.
+fn view_bytes(v: &View) -> usize {
+    v.population().div_ceil(8)
+}
+
+impl SimMessage for Msg {
+    fn wire_size(&self) -> usize {
+        match self {
+            // wave + interval + h/H/part/parts + optional view.
+            Msg::Request(r) => {
+                24 + r.view.as_ref().map_or(0, view_bytes)
+                    + r.weights.as_ref().map_or(0, |w| 8 * w.len())
+            }
+            // kind + ids + wave + recipe (pos, interval, part, parts, h,
+            // fanout ≈ 32B) + view bits.
+            Msg::Control(c) => 16 + 32 + view_bytes(&c.view),
+            Msg::Reply(_) => 12,
+            Msg::Data(d) => d.packet.wire_size(),
+            Msg::TwoPhase(t) => match t {
+                TwoPhase::Prepare { .. } => 24,
+                TwoPhase::Vote { .. } => 9,
+                TwoPhase::Decision { .. } => 5,
+            },
+            // The explicit schedule: ~5 bytes per entry (id + kind).
+            Msg::Assign(a) => 24 + 5 * a.sched.len(),
+            Msg::Nack(n) => 8 + 8 * n.seqs.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mss_media::{ContentDesc, PacketId, Seq};
+
+    fn control(kind: ControlKind, n: usize) -> ControlPacket {
+        ControlPacket {
+            kind,
+            from: PeerId(0),
+            wave: 1,
+            view: View::empty(n),
+            sched: Arc::new(PacketSeq::data_range(10)),
+            pos: 0,
+            interval_nanos: 1000,
+            mark_delta_nanos: 0,
+            part: 1,
+            parts: 4,
+            h: 3,
+            fanout: 4,
+        }
+    }
+
+    #[test]
+    fn coordination_classification() {
+        assert!(Msg::Control(control(ControlKind::Activate, 10)).is_coordination());
+        assert!(Msg::Reply(ProbeReply {
+            from: PeerId(0),
+            accept: true,
+            wave: 1
+        })
+        .is_coordination());
+        let c = ContentDesc::small(1, 4);
+        let d = Msg::Data(DataMsg {
+            from: PeerId(0),
+            packet: c.materialize(&PacketId::Data(Seq(1))),
+        });
+        assert!(!d.is_coordination());
+    }
+
+    #[test]
+    fn control_wire_size_scales_with_population_not_schedule() {
+        let small = Msg::Control(control(ControlKind::Probe, 100));
+        let mut big = control(ControlKind::Probe, 100);
+        big.sched = Arc::new(PacketSeq::data_range(100_000));
+        let big = Msg::Control(big);
+        assert_eq!(small.wire_size(), big.wire_size());
+        let wider = Msg::Control(control(ControlKind::Probe, 800));
+        assert!(wider.wire_size() > small.wire_size());
+    }
+
+    #[test]
+    fn assign_wire_size_scales_with_schedule() {
+        let a = |l: u64| {
+            Msg::Assign(ScheduleAssignment {
+                part: 0,
+                parts: 1,
+                h: 1,
+                interval_nanos: 1,
+                sched: PacketSeq::data_range(l),
+            })
+            .wire_size()
+        };
+        assert!(a(1000) > a(10));
+    }
+
+    #[test]
+    fn nack_wire_size_scales_with_seqs() {
+        let small = Msg::Nack(crate::msg::Nack {
+            seqs: vec![mss_media::Seq(1)],
+        });
+        let big = Msg::Nack(crate::msg::Nack {
+            seqs: (1..=100).map(mss_media::Seq).collect(),
+        });
+        assert!(big.wire_size() > small.wire_size() + 700);
+        assert!(small.is_coordination());
+    }
+
+    #[test]
+    fn request_wire_size_includes_weights() {
+        let base = ContentRequest {
+            wave: 1,
+            interval_nanos: 1,
+            h: 1,
+            fanout: 2,
+            part: 0,
+            parts: 2,
+            view: None,
+            weights: None,
+        };
+        let mut weighted = base.clone();
+        weighted.weights = Some(vec![1, 2, 3, 4]);
+        assert_eq!(
+            Msg::Request(weighted).wire_size(),
+            Msg::Request(base).wire_size() + 32
+        );
+    }
+
+    #[test]
+    fn data_wire_size_is_packet_size() {
+        let c = ContentDesc::small(1, 4);
+        let p = c.materialize(&PacketId::Data(Seq(2)));
+        let expect = p.wire_size();
+        let m = Msg::Data(DataMsg {
+            from: PeerId(1),
+            packet: p,
+        });
+        assert_eq!(m.wire_size(), expect);
+    }
+}

@@ -1,0 +1,393 @@
+//! Shared contents-peer machinery: activation bookkeeping, data-plane
+//! streaming, deferred schedule switching, and child selection.
+//!
+//! Every protocol's peer actor embeds a [`Core`] and drives it from its
+//! message handlers; the `Core` owns everything that is identical across
+//! DCoP, TCoP and the baselines.
+
+use mss_media::ContentDesc;
+use mss_overlay::select::select_from_complement;
+use mss_overlay::{Directory, PeerId, View};
+use mss_sim::prelude::*;
+
+use crate::config::{Piggyback, SessionConfig};
+use crate::metrics as mnames;
+use crate::msg::{DataMsg, Msg};
+use crate::schedule::{merge_assignment, TxSchedule};
+
+/// Timer tag: transmit the next scheduled packet.
+pub const TAG_SEND: u64 = 1;
+/// Timer tag: switch to the pending re-divided schedule (δ elapsed).
+pub const TAG_SWITCH: u64 = 2;
+/// Timer tag: TCoP probe-reply timeout.
+pub const TAG_REPLY_TIMEOUT: u64 = 3;
+
+/// Snapshot of a peer's state for post-run analysis.
+#[derive(Clone, Debug)]
+pub struct PeerReport {
+    /// Peer identity.
+    pub me: PeerId,
+    /// Whether the peer ever started transmitting.
+    pub active: bool,
+    /// Activation wave (0 when never activated).
+    pub wave: u32,
+    /// Virtual/wall nanoseconds of first activation (u64::MAX if never).
+    pub activated_nanos: u64,
+    /// Final per-packet interval (u64::MAX when idle).
+    pub interval_nanos: u64,
+    /// Scheduled packets (length of the final schedule).
+    pub sched_len: usize,
+    /// Packets actually sent.
+    pub sent: u64,
+    /// View size at the end of the run.
+    pub view_count: usize,
+}
+
+/// State shared by every contents-peer actor.
+pub struct Core {
+    /// This peer's identity.
+    pub me: PeerId,
+    /// Directory of the session.
+    pub dir: Directory,
+    /// Session parameters.
+    pub cfg: SessionConfig,
+    /// Perceived-active view `VW_i` (always contains `me`).
+    pub view: View,
+    /// True once transmitting (the paper's *active* state).
+    pub active: bool,
+    /// Wave at which this peer first activated.
+    pub wave: u32,
+    /// Nanoseconds of first activation (u64::MAX until then).
+    pub activated_nanos: u64,
+    /// Live transmission schedule.
+    pub sched: TxSchedule,
+    /// Re-divided schedule to adopt at the switch point.
+    pub pending_switch: Option<TxSchedule>,
+    /// Position on the live schedule at which the pending re-division
+    /// applies (the mark). The switch happens when the peer has actually
+    /// *sent* up to the mark — not merely when δ has elapsed — so
+    /// wall-clock timer drift can never drop the packets in
+    /// `[pos, mark)`. Runs without a data plane fall back to the δ timer.
+    pub switch_at_pos: Option<usize>,
+    /// The armed send timer and its fire time, if any.
+    send_timer: Option<(TimerId, SimTime)>,
+    /// Packets sent so far.
+    pub sent: u64,
+    /// Per-peer RNG substream (selection decisions).
+    pub rng: SimRng,
+}
+
+impl Core {
+    /// Core for peer `me` of a session.
+    pub fn new(me: PeerId, dir: Directory, cfg: SessionConfig) -> Core {
+        let mut view = View::empty(cfg.n);
+        view.insert(me);
+        let rng = SimRng::new(cfg.seed).fork(1000 + u64::from(me.0));
+        Core {
+            me,
+            dir,
+            cfg,
+            view,
+            active: false,
+            wave: 0,
+            activated_nanos: u64::MAX,
+            sched: TxSchedule::idle(),
+            pending_switch: None,
+            switch_at_pos: None,
+            send_timer: None,
+            sent: 0,
+            rng,
+        }
+    }
+
+    /// The content this session streams.
+    pub fn content(&self) -> &ContentDesc {
+        &self.cfg.content
+    }
+
+    /// Report for post-run analysis.
+    pub fn report(&self) -> PeerReport {
+        PeerReport {
+            me: self.me,
+            active: self.active,
+            wave: self.wave,
+            activated_nanos: self.activated_nanos,
+            interval_nanos: self.sched.interval_nanos,
+            sched_len: self.sched.seq.len(),
+            sent: self.sent,
+            view_count: self.view.count(),
+        }
+    }
+
+    /// Send a coordination message, maintaining the Figure-10/11
+    /// counters.
+    pub fn send_coord(&mut self, ctx: &mut dyn Runtime<Msg>, to: ActorId, msg: Msg) {
+        debug_assert!(msg.is_coordination());
+        ctx.metrics().incr(mnames::COORD_MSGS);
+        ctx.metrics()
+            .add(mnames::COORD_BYTES, msg.wire_size() as u64);
+        ctx.send(to, msg);
+    }
+
+    /// Mark this peer active (first time only), updating the
+    /// synchronization metrics.
+    pub fn record_activation(&mut self, ctx: &mut dyn Runtime<Msg>, wave: u32) {
+        if self.active {
+            return;
+        }
+        self.active = true;
+        self.wave = wave;
+        self.activated_nanos = ctx.now().as_nanos();
+        let msgs = ctx.metrics().counter(mnames::COORD_MSGS);
+        let probe_waves = ctx.metrics().counter(mnames::COORD_PROBE_WAVES);
+        let now = ctx.now().as_nanos();
+        let m = ctx.metrics();
+        m.incr(mnames::COORD_ACTIVATIONS);
+        m.set_max(mnames::COORD_MAX_WAVE, u64::from(wave));
+        m.set(mnames::COORD_MSGS_AT_ACTIVATION, msgs);
+        m.set(mnames::COORD_PROBE_WAVES_AT_ACTIVATION, probe_waves);
+        m.set(mnames::COORD_LAST_ACTIVATION_NANOS, now);
+    }
+
+    /// Install (or DCoP-merge) an assignment and start streaming.
+    pub fn adopt(&mut self, ctx: &mut dyn Runtime<Msg>, assignment: TxSchedule) {
+        if self.active {
+            // Multi-parent: merge into whichever schedule is current —
+            // the pending re-division if one is armed, else the live one.
+            if let Some(pending) = self.pending_switch.as_mut() {
+                *pending = merge_assignment(pending, &assignment);
+            } else {
+                self.sched = merge_assignment(&self.sched, &assignment);
+            }
+        } else {
+            self.sched = assignment;
+        }
+        self.arm_send(ctx);
+    }
+
+    /// The schedule basis a new division must be computed from: the
+    /// pending re-division when one is armed (it supersedes the live
+    /// schedule), else the live schedule. Returns
+    /// `(sequence, position, interval, delta_for_mark)` — a pending
+    /// basis divides from its start (nothing of it has been sent), so
+    /// the mark delta is zero.
+    pub fn effective_basis(&self) -> (&TxSchedule, usize, u64) {
+        match self.pending_switch.as_ref() {
+            Some(p) => (p, 0, 0),
+            None => (&self.sched, self.sched.pos, self.cfg.delta.as_nanos()),
+        }
+    }
+
+    /// Arm a re-divided schedule to replace the live one at the switch
+    /// point. `live_mark` is the mark position on the live schedule when
+    /// the division was derived from it (None when it was derived from an
+    /// already-pending schedule, whose original mark still governs).
+    ///
+    /// A still-pending earlier division is *replaced*, not merged: a new
+    /// self-division is always derived from the pending basis (see
+    /// [`Core::effective_basis`]), so the new part supersedes the old
+    /// pending schedule rather than adding to it.
+    pub fn arm_switch(
+        &mut self,
+        ctx: &mut dyn Runtime<Msg>,
+        next: TxSchedule,
+        live_mark: Option<usize>,
+    ) {
+        self.pending_switch = Some(next);
+        if live_mark.is_some() {
+            self.switch_at_pos = live_mark;
+        }
+        ctx.set_timer(self.cfg.delta, TAG_SWITCH);
+    }
+
+    /// Apply the pending re-division if the live schedule has reached its
+    /// mark (or has nothing left to send). `at_timer` marks the δ
+    /// fallback path, which applies unconditionally when no data plane is
+    /// pacing the position.
+    fn maybe_apply_switch(&mut self, ctx: &mut dyn Runtime<Msg>, at_timer: bool) {
+        if self.pending_switch.is_none() {
+            return;
+        }
+        let mark = self.switch_at_pos.unwrap_or(0);
+        let reached = self.sched.pos >= mark.min(self.sched.seq.len());
+        let force = at_timer && !self.cfg.data_plane;
+        if reached || force {
+            self.sched = self.pending_switch.take().expect("checked");
+            self.switch_at_pos = None;
+            self.arm_send(ctx);
+        }
+    }
+
+    /// Handle the δ switch timer (fallback path; the primary switch point
+    /// is reaching the mark position while streaming).
+    pub fn on_switch_timer(&mut self, ctx: &mut dyn Runtime<Msg>) {
+        self.maybe_apply_switch(ctx, true);
+    }
+
+    /// (Re-)arm the send timer if streaming is enabled and the current
+    /// schedule's next transmission is due earlier than any armed timer —
+    /// adopting a faster or phase-earlier schedule pulls the next send
+    /// forward instead of waiting out a stale delay.
+    pub fn arm_send(&mut self, ctx: &mut dyn Runtime<Msg>) {
+        if !self.cfg.data_plane || self.sched.exhausted() {
+            return;
+        }
+        let due = ctx.now() + SimDuration::from_nanos(self.sched.delay_for_next());
+        if let Some((tid, at)) = self.send_timer {
+            if due >= at {
+                return; // existing timer fires soon enough
+            }
+            ctx.cancel_timer(tid);
+        }
+        let tid = ctx.set_timer(
+            SimDuration::from_nanos(self.sched.delay_for_next()),
+            TAG_SEND,
+        );
+        self.send_timer = Some((tid, due));
+    }
+
+    /// Handle the send timer: transmit one packet to the leaf and re-arm.
+    pub fn on_send_timer(&mut self, ctx: &mut dyn Runtime<Msg>) {
+        self.send_timer = None;
+        // Apply a due re-division BEFORE transmitting: when the mark
+        // equals the current position the division already owns this
+        // packet, and sending it from the old schedule would duplicate it.
+        self.maybe_apply_switch(ctx, false);
+        if self.sched.exhausted() {
+            return;
+        }
+        let id = self
+            .sched
+            .seq
+            .get(self.sched.pos)
+            .expect("in range")
+            .clone();
+        self.sched.pos += 1;
+        self.sent += 1;
+        let packet = self.cfg.content.materialize(&id);
+        ctx.metrics().incr(mnames::DATA_MSGS);
+        let leaf = self.dir.leaf();
+        ctx.send(
+            leaf,
+            Msg::Data(DataMsg {
+                from: self.me,
+                packet,
+            }),
+        );
+        self.arm_send(ctx);
+    }
+
+    /// Serve a repair request: retransmit the asked-for data packets to
+    /// the leaf immediately (repair volumes are small; no pacing).
+    pub fn on_nack(&mut self, ctx: &mut dyn Runtime<Msg>, nack: &crate::msg::Nack) {
+        if !self.cfg.data_plane {
+            return;
+        }
+        ctx.metrics().incr("repair.requests");
+        let leaf = self.dir.leaf();
+        for &seq in &nack.seqs {
+            if seq.0 == 0 || seq.0 > self.cfg.content.packets {
+                continue;
+            }
+            let packet = self
+                .cfg
+                .content
+                .materialize(&mss_media::PacketId::Data(seq));
+            ctx.metrics().incr("repair.packets");
+            ctx.metrics().incr(mnames::DATA_MSGS);
+            self.sent += 1;
+            ctx.send(
+                leaf,
+                Msg::Data(DataMsg {
+                    from: self.me,
+                    packet,
+                }),
+            );
+        }
+    }
+
+    /// The paper's `Select`: up to `m` peers drawn uniformly from the
+    /// complement of this peer's view. Selected peers are added to the
+    /// view (they are now perceived active / claimed).
+    pub fn select_children(&mut self, m: usize) -> Vec<PeerId> {
+        let picked = select_from_complement(&self.view, m, &mut self.rng);
+        for p in &picked {
+            self.view.insert(*p);
+        }
+        picked
+    }
+
+    /// The view to piggyback on an outgoing coordination message, per the
+    /// configured variant. `selected` is the just-chosen child set.
+    pub fn piggyback_view(&self, selected: &[PeerId]) -> View {
+        match self.cfg.piggyback {
+            Piggyback::FullView => self.view.clone(),
+            Piggyback::SelectionsOnly => {
+                let mut v = View::empty(self.cfg.n);
+                v.insert(self.me);
+                for p in selected {
+                    v.insert(*p);
+                }
+                v
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SessionConfig;
+    use mss_sim::event::ActorId;
+
+    fn core(n: usize) -> Core {
+        let dir = Directory::new((0..n as u32).map(ActorId).collect(), ActorId(n as u32));
+        Core::new(PeerId(0), dir, SessionConfig::small(n, 3, 7))
+    }
+
+    #[test]
+    fn new_core_is_dormant_and_self_aware() {
+        let c = core(10);
+        assert!(!c.active);
+        assert!(c.view.contains(PeerId(0)));
+        assert_eq!(c.view.count(), 1);
+        assert!(c.sched.exhausted());
+        let r = c.report();
+        assert!(!r.active);
+        assert_eq!(r.sent, 0);
+    }
+
+    #[test]
+    fn select_children_claims_into_view() {
+        let mut c = core(10);
+        let picked = c.select_children(4);
+        assert_eq!(picked.len(), 4);
+        for p in &picked {
+            assert!(c.view.contains(*p));
+        }
+        assert_eq!(c.view.count(), 5);
+        // Selecting again avoids previously claimed peers.
+        let picked2 = c.select_children(10);
+        assert_eq!(picked2.len(), 5, "only 5 unclaimed remain");
+        for p in &picked2 {
+            assert!(!picked.contains(p));
+        }
+    }
+
+    #[test]
+    fn piggyback_variants_differ() {
+        let mut c = core(10);
+        let picked = c.select_children(2);
+        let full = c.piggyback_view(&picked);
+        assert_eq!(full.count(), 3);
+        c.cfg.piggyback = Piggyback::SelectionsOnly;
+        let sel = c.piggyback_view(&picked);
+        assert_eq!(sel.count(), 3, "self + 2 selections");
+        // Distinction shows once the view has merged outside knowledge.
+        c.view.insert(PeerId(9));
+        let full2 = c.piggyback_view(&picked);
+        assert_eq!(full2.count(), 3, "SelectionsOnly ignores merged view");
+        c.cfg.piggyback = Piggyback::FullView;
+        assert_eq!(c.piggyback_view(&picked).count(), 4);
+    }
+}

@@ -1,0 +1,450 @@
+//! Transmission-schedule machinery: `Mark`, postfix derivation,
+//! re-division, rates, and multi-parent merging (§3.3–§3.4).
+//!
+//! Rates are carried as per-packet intervals in nanoseconds. A division
+//! into `parts` with parity interval `h` turns a schedule of rate `r`
+//! into `parts` schedules of rate `r·(h+1)/(h·parts)` each — the paper's
+//! `τ_i := c.τ(h+1)/(h·H)` — so the subtree's aggregate rate carries the
+//! parity overhead `(h+1)/h`. Whether that overhead compounds with tree
+//! depth is governed by [`Reenhance`].
+
+use mss_media::parity::{div, enhance, Coding};
+use mss_media::PacketSeq;
+
+use crate::config::Reenhance;
+
+/// A peer's live transmission schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TxSchedule {
+    /// Packets to send, in order.
+    pub seq: PacketSeq,
+    /// Index of the next packet to send.
+    pub pos: usize,
+    /// Nanoseconds between consecutive packet transmissions.
+    pub interval_nanos: u64,
+    /// Delay before the *first* transmission: part `i` of a division is
+    /// phase-shifted by `i` enhanced-stream slots so the `parts` senders
+    /// interleave instead of bursting together — without this, a sender
+    /// holding a single packet would sit idle for one whole `interval`
+    /// (the entire window) before sending it.
+    pub first_delay_nanos: u64,
+}
+
+impl TxSchedule {
+    /// An empty, idle schedule.
+    pub fn idle() -> TxSchedule {
+        TxSchedule {
+            seq: PacketSeq::new(),
+            pos: 0,
+            interval_nanos: u64::MAX,
+            first_delay_nanos: u64::MAX,
+        }
+    }
+
+    /// Delay before the next transmission: the phase offset for the first
+    /// packet, the steady interval afterwards.
+    pub fn delay_for_next(&self) -> u64 {
+        if self.pos == 0 {
+            self.first_delay_nanos
+        } else {
+            self.interval_nanos
+        }
+    }
+
+    /// True when every packet has been sent.
+    pub fn exhausted(&self) -> bool {
+        self.pos >= self.seq.len()
+    }
+
+    /// Packets not yet sent.
+    pub fn remaining(&self) -> PacketSeq {
+        self.seq.postfix_at(self.pos)
+    }
+
+    /// Sending rate in packets/second (0 when idle).
+    pub fn rate_pps(&self) -> f64 {
+        if self.interval_nanos == 0 || self.interval_nanos == u64::MAX || self.exhausted() {
+            0.0
+        } else {
+            1e9 / self.interval_nanos as f64
+        }
+    }
+}
+
+/// Interval after dividing a rate-`interval` stream into `parts` with
+/// parity interval `h`: `interval · h · parts / (h + 1)`.
+///
+/// (Dividing slows each sender down by `parts`, re-enhancement speeds the
+/// aggregate up by `(h+1)/h`.)
+pub fn divided_interval(interval_nanos: u64, h: usize, parts: usize) -> u64 {
+    assert!(h >= 1 && parts >= 1);
+    let num = interval_nanos as u128 * h as u128 * parts as u128;
+    let den = (h + 1) as u128;
+    (num / den).max(1) as u64
+}
+
+/// The initial assignment a contents peer derives from the leaf's content
+/// request (§3.4 step 2): its part of `Div(Esq(pkt, h), parts)`.
+pub fn initial_assignment(
+    content_packets: u64,
+    h: usize,
+    parts: usize,
+    part: usize,
+    content_interval_nanos: u64,
+) -> TxSchedule {
+    initial_assignment_opts(
+        content_packets,
+        h,
+        parts,
+        part,
+        content_interval_nanos,
+        true,
+        Coding::Xor,
+    )
+}
+
+/// [`initial_assignment`] with explicit trailing-segment parity handling
+/// (see [`mss_media::parity::esq_opts`]).
+#[allow(clippy::too_many_arguments)]
+pub fn initial_assignment_opts(
+    content_packets: u64,
+    h: usize,
+    parts: usize,
+    part: usize,
+    content_interval_nanos: u64,
+    tail_parity: bool,
+    coding: Coding,
+) -> TxSchedule {
+    let enhanced = enhance(
+        &PacketSeq::data_range(content_packets),
+        h,
+        tail_parity,
+        coding,
+    );
+    let slot = (content_interval_nanos as u128 * content_packets as u128
+        / enhanced.len().max(1) as u128)
+        .max(1) as u64;
+    TxSchedule {
+        seq: div(&enhanced, parts, part),
+        pos: 0,
+        interval_nanos: slot.saturating_mul(parts as u64),
+        first_delay_nanos: slot.saturating_mul(part as u64 + 1),
+    }
+}
+
+/// Heterogeneous initial assignment (the paper's §2 allocation applied
+/// to the §3 division, and its §5 future work): the enhanced sequence is
+/// dealt to the initially selected peers *in proportion to their
+/// bandwidths* using the time-slot algorithm, instead of round-robin.
+/// Each peer is paced so that it finishes its share exactly when the
+/// whole content finishes at the content rate — a peer with twice the
+/// bandwidth carries twice the packets at twice the rate.
+#[allow(clippy::too_many_arguments)]
+pub fn weighted_initial_assignment(
+    content_packets: u64,
+    h: usize,
+    weights: &[u64],
+    my_index: usize,
+    content_interval_nanos: u64,
+    tail_parity: bool,
+    coding: Coding,
+) -> TxSchedule {
+    assert!(my_index < weights.len());
+    let enhanced = enhance(
+        &PacketSeq::data_range(content_packets),
+        h,
+        tail_parity,
+        coding,
+    );
+    let e = enhanced.len();
+    if e == 0 {
+        return TxSchedule::idle();
+    }
+    let alloc = mss_media::slots::allocate(weights, e as u64);
+    let mine = &alloc.per_channel[my_index]; // 1-based positions into `enhanced`
+    if mine.is_empty() {
+        return TxSchedule::idle();
+    }
+    let seq = PacketSeq::from_ids(
+        mine.iter()
+            .map(|&pos| enhanced.ids()[(pos - 1) as usize].clone())
+            .collect(),
+    );
+    // The whole enhanced stream spans the content window.
+    let window = content_interval_nanos as u128 * content_packets as u128;
+    let count = mine.len() as u128;
+    let interval = (window / count).max(1) as u64;
+    let first_delay = ((window * mine[0] as u128) / e as u128).max(1) as u64;
+    TxSchedule {
+        seq,
+        pos: 0,
+        interval_nanos: interval,
+        first_delay_nanos: first_delay,
+    }
+}
+
+/// `Mark`: the position in the parent's schedule the division applies
+/// from. The parent sent the control packet when about to transmit
+/// position `pos_at_send`; by the switch instant `δ` later it has sent
+/// `δ / τ_j` more packets.
+pub fn mark_position(pos_at_send: usize, interval_nanos: u64, delta_nanos: u64) -> usize {
+    if interval_nanos == 0 || interval_nanos == u64::MAX {
+        return pos_at_send;
+    }
+    pos_at_send + (delta_nanos / interval_nanos) as usize
+}
+
+/// Derive one part of a divided schedule from the parent's schedule:
+/// postfix from the mark, re-protected with parity interval `h`, dealt
+/// into `parts` round-robin subsequences (§3.4 step 3; parent keeps part
+/// 0, children get parts 1…).
+///
+/// Under [`Reenhance::DataOnly`] the postfix's old parity packets are
+/// replaced by fresh parity over its data, keeping parity density at
+/// `1/h` regardless of tree depth; [`Reenhance::Nested`] re-enhances the
+/// enhanced postfix as-is (the paper's §3.6 nested-parity examples).
+///
+/// The per-part interval paces the division so that its `parts` senders
+/// jointly finish when the undivided postfix would have:
+/// `interval · |postfix| · parts / |division|` — which reduces to the
+/// paper's `τ_i = τ_j(h+1)/(h(H+1))` when the lengths divide evenly.
+#[allow(clippy::too_many_arguments)]
+pub fn derived_assignment(
+    parent_sched: &PacketSeq,
+    pos_at_send: usize,
+    parent_interval_nanos: u64,
+    delta_nanos: u64,
+    h: usize,
+    parts: usize,
+    part: usize,
+    mode: Reenhance,
+) -> TxSchedule {
+    derived_assignment_opts(
+        parent_sched,
+        pos_at_send,
+        parent_interval_nanos,
+        delta_nanos,
+        h,
+        parts,
+        part,
+        mode,
+        true,
+        Coding::Xor,
+    )
+}
+
+/// [`derived_assignment`] with explicit trailing-segment parity handling
+/// (see [`mss_media::parity::esq_opts`]).
+#[allow(clippy::too_many_arguments)]
+pub fn derived_assignment_opts(
+    parent_sched: &PacketSeq,
+    pos_at_send: usize,
+    parent_interval_nanos: u64,
+    delta_nanos: u64,
+    h: usize,
+    parts: usize,
+    part: usize,
+    mode: Reenhance,
+    tail_parity: bool,
+    coding: Coding,
+) -> TxSchedule {
+    let mark = mark_position(pos_at_send, parent_interval_nanos, delta_nanos);
+    let postfix = parent_sched.postfix_at(mark);
+    if mode == Reenhance::None {
+        if postfix.is_empty() {
+            return TxSchedule::idle();
+        }
+        return TxSchedule {
+            seq: div(&postfix, parts, part),
+            pos: 0,
+            interval_nanos: parent_interval_nanos.saturating_mul(parts as u64),
+            first_delay_nanos: parent_interval_nanos.saturating_mul(part as u64 + 1),
+        };
+    }
+    let basis = match mode {
+        Reenhance::None => unreachable!("handled above"),
+        Reenhance::Nested => postfix.clone(),
+        // Distinct data packets only: parity is regenerated fresh, and
+        // `h = 1` duplicates (parity of a single packet IS that packet)
+        // must not multiply across division levels.
+        Reenhance::DataOnly => {
+            let mut seen = std::collections::HashSet::new();
+            PacketSeq::from_ids(
+                postfix
+                    .iter()
+                    .filter(|p| p.is_data() && seen.insert((*p).clone()))
+                    .cloned()
+                    .collect(),
+            )
+        }
+    };
+    let enhanced = enhance(&basis, h, tail_parity, coding);
+    if enhanced.is_empty() || postfix.is_empty() {
+        return TxSchedule::idle();
+    }
+    let slot = (parent_interval_nanos as u128 * postfix.len() as u128 / enhanced.len() as u128)
+        .max(1) as u64;
+    TxSchedule {
+        seq: div(&enhanced, parts, part),
+        pos: 0,
+        interval_nanos: slot.saturating_mul(parts as u64),
+        first_delay_nanos: slot.saturating_mul(part as u64 + 1),
+    }
+}
+
+/// Merge a new assignment into an already-running schedule — the DCoP
+/// multi-parent rule `pkt_i := pkt_i ∪ pkt_ji` (§3.3). The unsent
+/// remainder of the current schedule is unioned with the new assignment
+/// (readiness order); the rates add (harmonic interval), since the child
+/// must deliver both parents' shares on time.
+pub fn merge_assignment(current: &TxSchedule, incoming: &TxSchedule) -> TxSchedule {
+    let remaining = current.remaining();
+    let interval = harmonic_interval(current.interval_nanos, incoming.interval_nanos);
+    TxSchedule {
+        seq: remaining.union(&incoming.seq),
+        pos: 0,
+        interval_nanos: interval,
+        first_delay_nanos: current
+            .delay_for_next()
+            .min(incoming.first_delay_nanos)
+            .min(interval),
+    }
+}
+
+/// Interval of the combined stream of two senders merged into one: rates
+/// add, so intervals combine harmonically (`a·b/(a+b)`).
+pub fn harmonic_interval(a: u64, b: u64) -> u64 {
+    if a == u64::MAX || a == 0 {
+        return b;
+    }
+    if b == u64::MAX || b == 0 {
+        return a;
+    }
+    ((a as u128 * b as u128) / (a as u128 + b as u128)).max(1) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mss_media::packet::{PacketId, Seq};
+
+    #[test]
+    fn divided_interval_matches_rate_formula() {
+        // τ_i = τ(h+1)/(hH): interval_i = interval·h·H/(h+1).
+        let iv = divided_interval(1_000, 2, 3);
+        assert_eq!(iv, 2_000);
+        // h = H-1 = 59, H = 60: interval · 59·60/60 = interval · 59.
+        assert_eq!(divided_interval(1_000, 59, 60), 59_000);
+    }
+
+    #[test]
+    fn initial_assignments_partition_the_enhanced_sequence() {
+        // l = 39 divides into 13 full segments of h = 3: |[pkt]^3| = 52.
+        let parts: Vec<TxSchedule> = (0..4)
+            .map(|i| initial_assignment(39, 3, 4, i, 1_000))
+            .collect();
+        let total: usize = parts.iter().map(|p| p.seq.len()).sum();
+        let enhanced = enhance(&PacketSeq::data_range(39), 3, true, Coding::Xor);
+        assert_eq!(total, enhanced.len());
+        // slot = 1000·39/52 = 750 ns; interval = slot·parts = 3000 ns —
+        // the paper's τ_i = τ(h+1)/(hH).
+        assert_eq!(parts[0].interval_nanos, 3_000);
+        // Phase offsets interleave the senders one slot apart.
+        assert_eq!(parts[0].first_delay_nanos, 750);
+        assert_eq!(parts[3].first_delay_nanos, 3_000);
+    }
+
+    #[test]
+    fn aggregate_rate_has_parity_overhead() {
+        // H senders at τ(h+1)/(hH) each: aggregate = τ(h+1)/h
+        // (exact when h divides the content length).
+        let h = 3;
+        let parts = 4;
+        let content_interval = 1_000u64;
+        let s = initial_assignment(999, h, parts, 0, content_interval);
+        let aggregate = parts as f64 * s.rate_pps();
+        let content_rate = 1e9 / content_interval as f64;
+        let overhead = aggregate / content_rate;
+        assert!((overhead - (h as f64 + 1.0) / h as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mark_advances_by_delta_over_interval() {
+        assert_eq!(mark_position(10, 1_000, 5_000), 15);
+        assert_eq!(mark_position(10, 1_000, 5_999), 15);
+        assert_eq!(mark_position(0, u64::MAX, 1_000), 0, "idle parent");
+    }
+
+    #[test]
+    fn derived_assignments_partition_the_postfix() {
+        let parent = PacketSeq::data_range(30);
+        let shares: Vec<TxSchedule> = (0..3)
+            .map(|i| derived_assignment(&parent, 4, 1_000, 6_000, 2, 3, i, Reenhance::Nested))
+            .collect();
+        // Mark = 4 + 6 = 10; postfix = t11..t30 (20 pkts) enhanced → 30.
+        let total: usize = shares.iter().map(|s| s.seq.len()).sum();
+        assert_eq!(total, 30);
+        // The union of shares contains every postfix data packet.
+        let mut all = PacketSeq::new();
+        for s in &shares {
+            all = all.union(&s.seq);
+        }
+        for t in 11..=30u64 {
+            assert!(
+                all.contains(&PacketId::Data(Seq(t))),
+                "t{t} missing from division"
+            );
+        }
+        for t in 1..=10u64 {
+            assert!(
+                !all.contains(&PacketId::Data(Seq(t))),
+                "t{t} before the mark leaked into the division"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_keeps_unsent_work_and_faster_rate() {
+        let mut cur = initial_assignment(20, 1, 2, 0, 1_000);
+        cur.pos = 3;
+        let unsent_first = cur.seq.get(3).cloned().unwrap();
+        let incoming = TxSchedule {
+            seq: PacketSeq::from_ids(vec![PacketId::Data(Seq(99))]),
+            pos: 0,
+            interval_nanos: 500,
+            first_delay_nanos: 500,
+        };
+        let merged = merge_assignment(&cur, &incoming);
+        assert_eq!(
+            merged.interval_nanos,
+            harmonic_interval(cur.interval_nanos, 500)
+        );
+        assert_eq!(merged.pos, 0);
+        assert!(merged.seq.contains(&unsent_first));
+        assert!(merged.seq.contains(&PacketId::Data(Seq(99))));
+        // Already-sent packets do not reappear.
+        let sent0 = cur.seq.get(0).cloned().unwrap();
+        if !cur.seq.postfix_at(3).contains(&sent0) {
+            assert!(!merged.seq.contains(&sent0));
+        }
+    }
+
+    #[test]
+    fn exhausted_and_remaining() {
+        let mut s = initial_assignment(10, 1, 1, 0, 1_000);
+        assert!(!s.exhausted());
+        let len = s.seq.len();
+        s.pos = len;
+        assert!(s.exhausted());
+        assert!(s.remaining().is_empty());
+        assert_eq!(s.rate_pps(), 0.0);
+        assert_eq!(TxSchedule::idle().rate_pps(), 0.0);
+    }
+
+    #[test]
+    fn derivation_past_the_end_is_empty() {
+        let parent = PacketSeq::data_range(5);
+        let s = derived_assignment(&parent, 5, 1_000, 10_000, 2, 2, 0, Reenhance::Nested);
+        assert!(s.seq.is_empty());
+    }
+}

@@ -1,0 +1,390 @@
+//! Session builder and runner: the crate's main entry point.
+//!
+//! A [`Session`] wires a leaf and `n` contents peers of the chosen
+//! [`Protocol`] into an [`mss_sim`] world, optionally injects crash-stop
+//! faults, runs to quiescence, and distills a [`SessionOutcome`] — the
+//! row format of every figure in the paper's evaluation.
+//!
+//! ```
+//! use mss_core::prelude::*;
+//!
+//! let cfg = SessionConfig::small(10, 3, 42);
+//! let outcome = Session::new(cfg, Protocol::Dcop).run();
+//! assert_eq!(outcome.activated, 10);
+//! assert!(outcome.complete);
+//! ```
+
+use mss_media::buffer::OverrunGate;
+use mss_overlay::{Directory, PeerId};
+use mss_sim::event::ActorId;
+use mss_sim::link::{JitterLatency, LinkModel};
+use mss_sim::prelude::*;
+use mss_sim::world::World;
+
+use crate::baselines::{BroadcastPeer, CentralizedPeer, SchedulePeer};
+use crate::config::{Protocol, SessionConfig};
+use crate::dcop::DcopPeer;
+use crate::leaf::LeafActor;
+use crate::metrics as mnames;
+use crate::metrics::SessionOutcome;
+use crate::msg::Msg;
+use crate::peer_core::PeerReport;
+use crate::tcop::TcopPeer;
+
+/// Crash-stop fault injector: kills listed peers at listed times.
+struct FaultInjector {
+    faults: Vec<(SimDuration, ActorId)>,
+}
+
+impl Actor<Msg> for FaultInjector {
+    fn on_start(&mut self, ctx: &mut dyn Runtime<Msg>) {
+        for (i, (at, _)) in self.faults.iter().enumerate() {
+            ctx.set_timer(*at, i as u64);
+        }
+    }
+    fn on_message(&mut self, _: &mut dyn Runtime<Msg>, _: ActorId, _: Msg) {}
+    fn on_timer(&mut self, ctx: &mut dyn Runtime<Msg>, _: TimerId, tag: u64) {
+        let (_, target) = self.faults[tag as usize];
+        ctx.kill(target);
+    }
+    mss_sim::impl_as_any!();
+}
+
+/// Builder for one streaming session.
+pub struct Session {
+    cfg: SessionConfig,
+    protocol: Protocol,
+    link: Box<dyn LinkModel>,
+    gate: Option<OverrunGate>,
+    faults: Vec<(SimDuration, PeerId)>,
+    limit: SimTime,
+}
+
+impl Session {
+    /// A session with the default link: 1–2 ms one-way latency (the
+    /// paper's "reliable high-speed" channels, with enough jitter that
+    /// concurrent probes do not arrive in artificial lockstep).
+    pub fn new(cfg: SessionConfig, protocol: Protocol) -> Session {
+        cfg.validate();
+        let mut cfg = cfg;
+        if protocol == Protocol::Unicast {
+            // The unicast chain is DCoP with fan-out 1.
+            cfg.fanout = 1;
+        }
+        Session {
+            cfg,
+            protocol,
+            link: Box::new(JitterLatency {
+                base: SimDuration::from_millis(1),
+                jitter: SimDuration::from_millis(1),
+            }),
+            gate: None,
+            faults: Vec::new(),
+            limit: SimTime::MAX,
+        }
+    }
+
+    /// Replace the network model.
+    pub fn link(mut self, link: impl LinkModel + 'static) -> Session {
+        self.link = Box::new(link);
+        self
+    }
+
+    /// Bound the leaf's receipt rate `ρ_s` with an overrun gate.
+    pub fn gate(mut self, gate: OverrunGate) -> Session {
+        self.gate = Some(gate);
+        self
+    }
+
+    /// Crash contents peer `peer` at time `at`.
+    pub fn fault(mut self, at: SimDuration, peer: PeerId) -> Session {
+        self.faults.push((at, peer));
+        self
+    }
+
+    /// Stop the simulation at `limit` even if events remain.
+    pub fn time_limit(mut self, limit: SimDuration) -> Session {
+        self.limit = SimTime::ZERO + limit;
+        self
+    }
+
+    /// Run to quiescence and summarize.
+    pub fn run(self) -> SessionOutcome {
+        self.run_with_world().0
+    }
+
+    /// Run and also hand back the world for deeper inspection.
+    pub fn run_with_world(self) -> (SessionOutcome, World<Msg>, Vec<PeerReport>) {
+        let Session {
+            cfg,
+            protocol,
+            link,
+            gate,
+            faults,
+            limit,
+        } = self;
+        let mut world: World<Msg> = World::new(link, cfg.seed);
+        let n = cfg.n;
+        let dir = Directory::new((0..n as u32).map(ActorId).collect(), ActorId(n as u32));
+        for i in 0..n {
+            let me = PeerId(i as u32);
+            let id = world.add_actor(make_peer(protocol, me, dir.clone(), cfg.clone()));
+            debug_assert_eq!(id, dir.actor_of(me));
+        }
+        let leaf_id = world.add_actor(Box::new(LeafActor::new(
+            cfg.clone(),
+            protocol,
+            dir.clone(),
+            gate,
+        )));
+        debug_assert_eq!(leaf_id, dir.leaf());
+        if !faults.is_empty() {
+            let faults = faults
+                .iter()
+                .map(|(at, p)| (*at, dir.actor_of(*p)))
+                .collect();
+            world.add_actor(Box::new(FaultInjector { faults }));
+        }
+        if std::env::var_os("MSS_TRACE").is_some() {
+            world.set_trace(true);
+        }
+        world.run_until(limit);
+
+        let reports = peer_reports(&world, protocol, &dir);
+        let outcome = summarize(&world, protocol, &cfg, &dir, &reports);
+        (outcome, world, reports)
+    }
+}
+
+/// Downcast any hosted contents-peer actor to its report (works for the
+/// simulator and for the live runtimes in `mss-net`).
+pub fn report_of(actor: &dyn Actor<Msg>, protocol: Protocol) -> Option<PeerReport> {
+    let any = actor.as_any();
+    match protocol {
+        Protocol::Dcop | Protocol::Unicast => any.downcast_ref::<DcopPeer>().map(|p| p.report()),
+        Protocol::Tcop => any.downcast_ref::<TcopPeer>().map(|p| p.report()),
+        Protocol::Broadcast => any.downcast_ref::<BroadcastPeer>().map(|p| p.report()),
+        Protocol::Centralized => any.downcast_ref::<CentralizedPeer>().map(|p| p.report()),
+        Protocol::LeafSchedule => any.downcast_ref::<SchedulePeer>().map(|p| p.report()),
+    }
+}
+
+/// Construct a contents-peer actor of the given protocol (shared by the
+/// simulator session builder and the live runtimes).
+pub fn make_peer(
+    protocol: Protocol,
+    me: PeerId,
+    dir: Directory,
+    cfg: SessionConfig,
+) -> Box<dyn Actor<Msg>> {
+    match protocol {
+        Protocol::Dcop | Protocol::Unicast => Box::new(DcopPeer::new(me, dir, cfg)),
+        Protocol::Tcop => Box::new(TcopPeer::new(me, dir, cfg)),
+        Protocol::Broadcast => Box::new(BroadcastPeer::new(me, dir, cfg)),
+        Protocol::Centralized => Box::new(CentralizedPeer::new(me, dir, cfg)),
+        Protocol::LeafSchedule => Box::new(SchedulePeer::new(me, dir, cfg)),
+    }
+}
+
+/// Extract every contents peer's report from a finished world.
+pub fn peer_reports(world: &World<Msg>, protocol: Protocol, dir: &Directory) -> Vec<PeerReport> {
+    dir.peers()
+        .map(|p| {
+            let id = dir.actor_of(p);
+            world
+                .actor_as_dyn(id)
+                .and_then(|a| report_of(a, protocol))
+                .expect("peer type")
+        })
+        .collect()
+}
+
+/// The paper's round counting per protocol (see crate docs for the
+/// interpretation): activation waves for the flooding protocols, three
+/// rounds per probe wave for TCoP, the fixed 2PC count for the
+/// centralized baseline.
+pub fn rounds_of(world: &World<Msg>, protocol: Protocol) -> u32 {
+    let m = world.metrics();
+    match protocol {
+        Protocol::Tcop => {
+            let probe_waves = m.counter(mnames::COORD_PROBE_WAVES_AT_ACTIVATION) as u32;
+            if probe_waves == 0 {
+                m.counter(mnames::COORD_MAX_WAVE) as u32
+            } else {
+                3 * probe_waves
+            }
+        }
+        Protocol::Centralized => m.counter(mnames::COORD_FIXED_ROUNDS) as u32,
+        _ => m.counter(mnames::COORD_MAX_WAVE) as u32,
+    }
+}
+
+fn summarize(
+    world: &World<Msg>,
+    protocol: Protocol,
+    cfg: &SessionConfig,
+    dir: &Directory,
+    reports: &[PeerReport],
+) -> SessionOutcome {
+    let m = world.metrics();
+    let leaf: &LeafActor = world.actor_as(dir.leaf()).expect("leaf actor");
+    let packet_bits = (cfg.content.packet_bytes * 8) as f64;
+    let analytic_bps: f64 = reports
+        .iter()
+        .filter(|r| r.active && r.interval_nanos != u64::MAX && r.interval_nanos > 0)
+        .map(|r| 1e9 / r.interval_nanos as f64 * packet_bits)
+        .sum();
+    SessionOutcome {
+        protocol,
+        n: cfg.n,
+        fanout: cfg.fanout,
+        rounds: rounds_of(world, protocol),
+        coord_msgs_until_active: m.counter(mnames::COORD_MSGS_AT_ACTIVATION),
+        coord_msgs_total: m.counter(mnames::COORD_MSGS),
+        coord_bytes: m.counter(mnames::COORD_BYTES),
+        activated: m.counter(mnames::COORD_ACTIVATIONS),
+        sync_nanos: m.counter(mnames::COORD_LAST_ACTIVATION_NANOS),
+        receipt_rate_analytic: analytic_bps / cfg.content.rate_bps as f64,
+        receipt_rate_measured: leaf
+            .measured_bps()
+            .map(|bps| bps / cfg.content.rate_bps as f64),
+        receipt_volume_ratio: leaf.received_bytes() as f64
+            / (cfg.content.packets as f64 * cfg.content.packet_bytes as f64),
+        leaf_accepted: leaf.accepted(),
+        leaf_duplicates: leaf.duplicates(),
+        leaf_overruns: leaf.overruns(),
+        complete: leaf.is_complete(),
+        complete_nanos: leaf.complete_nanos(),
+        recovered_via_parity: leaf.recovered(),
+        leaf_missing: leaf.missing_count() as u64,
+        data_msgs: m.counter(mnames::DATA_MSGS),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dcop_small_session_covers_and_completes() {
+        let cfg = SessionConfig::small(10, 3, 42);
+        let outcome = Session::new(cfg, Protocol::Dcop).run();
+        assert_eq!(outcome.activated, 10, "every peer must activate");
+        assert!(outcome.complete, "leaf must reconstruct the content");
+        assert!(outcome.rounds >= 2, "10 peers at H=3 need several waves");
+        assert!(outcome.coord_msgs_until_active >= 10 - 3);
+    }
+
+    #[test]
+    fn dcop_is_deterministic_per_seed() {
+        let a = Session::new(SessionConfig::small(20, 4, 7), Protocol::Dcop).run();
+        let b = Session::new(SessionConfig::small(20, 4, 7), Protocol::Dcop).run();
+        assert_eq!(a.coord_msgs_total, b.coord_msgs_total);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.sync_nanos, b.sync_nanos);
+        let c = Session::new(SessionConfig::small(20, 4, 8), Protocol::Dcop).run();
+        // A different seed gives a different random structure (message
+        // totals may coincide, times almost never do).
+        assert!(
+            c.sync_nanos != a.sync_nanos || c.coord_msgs_total != a.coord_msgs_total,
+            "different seeds produced identical runs"
+        );
+    }
+
+    #[test]
+    fn tcop_small_session_covers_and_completes() {
+        let cfg = SessionConfig::small(10, 3, 42);
+        let outcome = Session::new(cfg, Protocol::Tcop).run();
+        assert_eq!(outcome.activated, 10);
+        assert!(outcome.complete);
+        assert_eq!(outcome.rounds % 3, 0, "TCoP rounds come in threes");
+    }
+
+    #[test]
+    fn tcop_children_have_unique_parents() {
+        let cfg = SessionConfig::small(12, 3, 5);
+        let (outcome, world, _) = Session::new(cfg, Protocol::Tcop).run_with_world();
+        assert_eq!(outcome.activated, 12);
+        for i in 0..12u32 {
+            let p: &TcopPeer = world.actor_as(ActorId(i)).unwrap();
+            assert!(p.has_parent(), "CP{} never claimed", i + 1);
+        }
+    }
+
+    #[test]
+    fn all_protocols_cover_and_complete() {
+        for protocol in Protocol::ALL {
+            let cfg = SessionConfig::small(8, 3, 11);
+            let outcome = Session::new(cfg, protocol).run();
+            assert_eq!(outcome.activated, 8, "{}", protocol.name());
+            assert!(outcome.complete, "{} failed to stream", protocol.name());
+            assert!(outcome.rounds >= 1, "{}", protocol.name());
+        }
+    }
+
+    #[test]
+    fn unicast_takes_many_rounds_few_messages() {
+        let cfg = SessionConfig::small(10, 3, 3);
+        let outcome = Session::new(cfg, Protocol::Unicast).run();
+        assert_eq!(outcome.activated, 10);
+        assert_eq!(outcome.rounds, 10, "the chain activates one peer per wave");
+        assert!(outcome.coord_msgs_until_active <= 2 * 10);
+    }
+
+    #[test]
+    fn centralized_is_three_rounds() {
+        let cfg = SessionConfig::small(10, 3, 3);
+        let outcome = Session::new(cfg, Protocol::Centralized).run();
+        assert_eq!(outcome.rounds, 3);
+        // 1 request + (n-1) prepares + (n-1) votes + (n-1) decisions.
+        assert_eq!(outcome.coord_msgs_total, 1 + 3 * 9);
+    }
+
+    #[test]
+    fn leaf_schedule_is_one_round_n_messages() {
+        let cfg = SessionConfig::small(10, 3, 3);
+        let outcome = Session::new(cfg, Protocol::LeafSchedule).run();
+        assert_eq!(outcome.rounds, 1);
+        assert_eq!(outcome.coord_msgs_total, 10);
+        assert!(outcome.complete);
+    }
+
+    #[test]
+    fn broadcast_is_one_round_n_squared_messages() {
+        let cfg = SessionConfig::small(10, 3, 3);
+        let outcome = Session::new(cfg, Protocol::Broadcast).run();
+        assert_eq!(outcome.rounds, 1);
+        assert_eq!(outcome.coord_msgs_total, 10 + 10 * 9);
+        assert!(outcome.complete);
+        assert!(
+            outcome.leaf_duplicates > 0,
+            "the redundant phase must produce duplicates"
+        );
+    }
+
+    #[test]
+    fn dcop_survives_peer_crashes_with_parity() {
+        // h = H - 1 = 3: one whole peer per division may vanish.
+        let mut cfg = SessionConfig::small(8, 4, 19);
+        cfg.parity_interval = 3;
+        let outcome = Session::new(cfg, Protocol::Dcop)
+            .fault(SimDuration::from_millis(300), PeerId(2))
+            .run();
+        assert!(
+            outcome.complete,
+            "leaf failed to reconstruct despite parity (missing data)"
+        );
+        assert!(outcome.recovered_via_parity > 0, "parity never exercised");
+    }
+
+    #[test]
+    fn outcome_rates_are_plausible() {
+        let cfg = SessionConfig::small(10, 3, 42);
+        let outcome = Session::new(cfg, Protocol::Dcop).run();
+        // Receipt rate must exceed the content rate (parity overhead) but
+        // stay within a small factor for a shallow tree.
+        let r = outcome.receipt_rate_analytic;
+        assert!(r > 1.0, "analytic rate {r} missing parity overhead");
+        assert!(r < 4.0, "analytic rate {r} implausibly high");
+    }
+}

@@ -1,0 +1,294 @@
+//! TCoP — the non-redundant tree-based coordination protocol (paper §3.5).
+//!
+//! Selection is a three-round handshake: a parent sends a probe (`c1`) to
+//! each candidate; each candidate replies (`cc1`), accepting only if it
+//! has no parent yet; the parent commits (`c2`) the accepters with their
+//! final part assignments. Every contents peer therefore has exactly one
+//! parent and the session forms a spanning tree rooted at the leaf — at
+//! the cost of three rounds per selection wave and probe traffic wasted
+//! on already-claimed peers.
+
+use std::sync::Arc;
+
+use mss_sim::prelude::*;
+
+use crate::config::SessionConfig;
+use crate::metrics as mnames;
+use crate::msg::{ContentRequest, ControlKind, ControlPacket, Msg, ProbeReply};
+use crate::peer_core::{Core, PeerReport, TAG_REPLY_TIMEOUT, TAG_SEND, TAG_SWITCH};
+use crate::schedule::{derived_assignment_opts, initial_assignment_opts};
+use mss_overlay::{Directory, PeerId};
+
+/// In-flight probe round state on the parent side.
+struct ProbeRound {
+    /// Activation wave the committed children will belong to.
+    child_wave: u32,
+    /// Replies still awaited.
+    outstanding: usize,
+    /// Candidates that accepted this parent.
+    accepted: Vec<PeerId>,
+    /// Fallback timer in case replies are lost.
+    timer: TimerId,
+}
+
+/// A contents peer running TCoP.
+pub struct TcopPeer {
+    core: Core,
+    /// True once claimed by a parent (or activated by the leaf); a
+    /// claimed peer rejects further probes — the non-redundancy rule.
+    has_parent: bool,
+    probe: Option<ProbeRound>,
+}
+
+impl TcopPeer {
+    /// Peer `me` of a TCoP session.
+    pub fn new(me: PeerId, dir: Directory, cfg: SessionConfig) -> TcopPeer {
+        TcopPeer {
+            core: Core::new(me, dir, cfg),
+            has_parent: false,
+            probe: None,
+        }
+    }
+
+    /// Post-run state snapshot.
+    pub fn report(&self) -> PeerReport {
+        self.core.report()
+    }
+
+    /// Whether this peer was claimed by a parent (incl. the leaf).
+    pub fn has_parent(&self) -> bool {
+        self.has_parent
+    }
+
+    /// §3.5 step 1-2: activation by the leaf's content request.
+    fn on_request(&mut self, ctx: &mut dyn Runtime<Msg>, req: ContentRequest) {
+        if let Some(v) = &req.view {
+            self.core.view.union_with(v);
+        }
+        self.has_parent = true; // parent is the leaf
+        let assignment = match &req.weights {
+            Some(w) => crate::schedule::weighted_initial_assignment(
+                self.core.content().packets,
+                req.h as usize,
+                w,
+                req.part as usize,
+                req.interval_nanos,
+                self.core.cfg.tail_parity,
+                self.core.cfg.coding,
+            ),
+            None => initial_assignment_opts(
+                self.core.content().packets,
+                req.h as usize,
+                req.parts as usize,
+                req.part as usize,
+                req.interval_nanos,
+                self.core.cfg.tail_parity,
+                self.core.cfg.coding,
+            ),
+        };
+        self.core.adopt(ctx, assignment);
+        self.core.record_activation(ctx, req.wave);
+        self.start_probe(ctx, req.wave + 1);
+    }
+
+    /// §3.5 step 2: `Aselect` a candidate set and probe it.
+    fn start_probe(&mut self, ctx: &mut dyn Runtime<Msg>, child_wave: u32) {
+        if self.probe.is_some() || self.core.view.is_full() {
+            return;
+        }
+        let candidates = self.core.select_children(self.core.cfg.fanout);
+        if candidates.is_empty() {
+            return;
+        }
+        // One probe round = 3 protocol rounds; track the deepest round.
+        ctx.metrics()
+            .set_max(mnames::COORD_PROBE_WAVES, u64::from(child_wave - 1));
+        let view = self.core.piggyback_view(&candidates);
+        let empty_sched = Arc::new(mss_media::PacketSeq::new());
+        for child in &candidates {
+            let probe = ControlPacket {
+                kind: ControlKind::Probe,
+                from: self.core.me,
+                wave: child_wave,
+                view: view.clone(),
+                sched: empty_sched.clone(),
+                pos: 0,
+                interval_nanos: self.core.sched.interval_nanos,
+                mark_delta_nanos: 0,
+                part: 0,
+                parts: 0,
+                h: self.core.cfg.parity_interval as u32,
+                fanout: self.core.cfg.fanout as u32,
+            };
+            let to = self.core.dir.actor_of(*child);
+            self.core.send_coord(ctx, to, Msg::Control(probe));
+        }
+        let timer = ctx.set_timer(self.core.cfg.reply_timeout, TAG_REPLY_TIMEOUT);
+        self.probe = Some(ProbeRound {
+            child_wave,
+            outstanding: candidates.len(),
+            accepted: Vec::new(),
+            timer,
+        });
+    }
+
+    /// §3.5 step 3: a probe arrives; accept iff unclaimed.
+    ///
+    /// A probe is only a claim attempt: the child notes the prober but
+    /// does not merge its view — view knowledge transfers on the commit
+    /// (`c2`), which is what reproduces the paper's 6 rounds at `H = 60`
+    /// (the committed wave still has peers to probe).
+    fn on_probe(&mut self, ctx: &mut dyn Runtime<Msg>, c: ControlPacket) {
+        self.core.view.insert(c.from);
+        let accept = !self.has_parent;
+        if accept {
+            self.has_parent = true; // reserved until the commit arrives
+        }
+        let reply = ProbeReply {
+            from: self.core.me,
+            accept,
+            wave: c.wave,
+        };
+        let to = self.core.dir.actor_of(c.from);
+        self.core.send_coord(ctx, to, Msg::Reply(reply));
+    }
+
+    /// §3.5 step 4: collect confirmations.
+    fn on_reply(&mut self, ctx: &mut dyn Runtime<Msg>, r: ProbeReply) {
+        let Some(round) = self.probe.as_mut() else {
+            return; // late reply after timeout
+        };
+        if r.wave != round.child_wave {
+            return;
+        }
+        round.outstanding -= 1;
+        if r.accept {
+            round.accepted.push(r.from);
+        }
+        if round.outstanding == 0 {
+            let timer = round.timer;
+            ctx.cancel_timer(timer);
+            self.finish_probe(ctx);
+        }
+    }
+
+    /// §3.5 steps 4–6: commit the confirmed children and re-divide.
+    fn finish_probe(&mut self, ctx: &mut dyn Runtime<Msg>) {
+        let Some(round) = self.probe.take() else {
+            return;
+        };
+        if round.accepted.is_empty() {
+            // The paper stops here ("if C = φ"); with persistent probing
+            // the parent tries the next candidate batch, which guarantees
+            // every peer is eventually probed.
+            if self.core.cfg.tcop_persistent_probing {
+                self.start_probe(ctx, round.child_wave + 1);
+            }
+            return;
+        }
+        let parts = round.accepted.len() + 1;
+        // Recovery segments cannot span subtrees: re-enhancement interval
+        // is the division arity (the paper's `Esq(pkt_j[m_j⟩, c2.n)`),
+        // unless configured to use the global h.
+        let h_eff = if self.core.cfg.tcop_segment_by_arity
+            && self.core.cfg.coding == mss_media::parity::Coding::Xor
+        {
+            parts
+        } else {
+            self.core.cfg.parity_interval
+        };
+        let view = self.core.piggyback_view(&round.accepted);
+        let (sched, pos, mark_delta, interval, basis_is_live) = {
+            let was_pending = self.core.pending_switch.is_some();
+            let (b, p, d) = self.core.effective_basis();
+            (
+                Arc::new(b.seq.clone()),
+                p as u32,
+                d,
+                b.interval_nanos,
+                !was_pending,
+            )
+        };
+        for (j, child) in round.accepted.iter().enumerate() {
+            let commit = ControlPacket {
+                kind: ControlKind::Commit,
+                from: self.core.me,
+                wave: round.child_wave,
+                view: view.clone(),
+                sched: sched.clone(),
+                pos,
+                interval_nanos: interval,
+                mark_delta_nanos: mark_delta,
+                part: (j + 1) as u32,
+                parts: parts as u32,
+                h: h_eff as u32,
+                fanout: self.core.cfg.fanout as u32,
+            };
+            let to = self.core.dir.actor_of(*child);
+            self.core.send_coord(ctx, to, Msg::Control(commit));
+        }
+        let own = derived_assignment_opts(
+            &sched,
+            pos as usize,
+            interval,
+            mark_delta,
+            h_eff,
+            parts,
+            0,
+            self.core.cfg.reenhance,
+            self.core.cfg.tail_parity,
+            self.core.cfg.coding,
+        );
+        let live_mark = basis_is_live
+            .then(|| crate::schedule::mark_position(pos as usize, interval, mark_delta));
+        self.core.arm_switch(ctx, own, live_mark);
+    }
+
+    /// §3.5 step 5: the commit activates this peer.
+    fn on_commit(&mut self, ctx: &mut dyn Runtime<Msg>, c: ControlPacket) {
+        self.core.view.insert(c.from);
+        self.core.view.union_with(&c.view);
+        let assignment = derived_assignment_opts(
+            c.sched.as_ref(),
+            c.pos as usize,
+            c.interval_nanos,
+            c.mark_delta_nanos,
+            c.h as usize,
+            c.parts as usize,
+            c.part as usize,
+            self.core.cfg.reenhance,
+            self.core.cfg.tail_parity,
+            self.core.cfg.coding,
+        );
+        self.core.adopt(ctx, assignment);
+        self.core.record_activation(ctx, c.wave);
+        self.start_probe(ctx, c.wave + 1);
+    }
+}
+
+impl Actor<Msg> for TcopPeer {
+    fn on_message(&mut self, ctx: &mut dyn Runtime<Msg>, _from: ActorId, msg: Msg) {
+        match msg {
+            Msg::Request(req) => self.on_request(ctx, req),
+            Msg::Control(c) => match c.kind {
+                ControlKind::Probe => self.on_probe(ctx, c),
+                ControlKind::Commit => self.on_commit(ctx, c),
+                ControlKind::Activate | ControlKind::Announce => {}
+            },
+            Msg::Reply(r) => self.on_reply(ctx, r),
+            Msg::Nack(n) => self.core.on_nack(ctx, &n),
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn Runtime<Msg>, _timer: TimerId, tag: u64) {
+        match tag {
+            TAG_SEND => self.core.on_send_timer(ctx),
+            TAG_SWITCH => self.core.on_switch_timer(ctx),
+            TAG_REPLY_TIMEOUT => self.finish_probe(ctx),
+            _ => {}
+        }
+    }
+
+    mss_sim::impl_as_any!();
+}

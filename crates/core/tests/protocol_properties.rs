@@ -1,0 +1,116 @@
+//! Property-based tests over the coordination protocols themselves:
+//! termination, coverage, non-redundancy, determinism, and end-to-end
+//! reconstruction for arbitrary session shapes.
+
+use proptest::prelude::*;
+
+use mss_core::config::Piggyback;
+use mss_core::prelude::*;
+use mss_core::session::Session;
+use mss_core::tcop::TcopPeer;
+use mss_sim::event::ActorId;
+
+fn arb_shape() -> impl Strategy<Value = (usize, usize, u64)> {
+    // (n, H <= n, seed)
+    (2usize..26).prop_flat_map(|n| (Just(n), 1usize..=n, any::<u64>()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// DCoP terminates with every peer active and the content fully
+    /// reconstructed, for arbitrary population, fan-out and seed.
+    #[test]
+    fn dcop_covers_and_completes((n, fanout, seed) in arb_shape()) {
+        let mut cfg = SessionConfig::small(n, fanout, seed);
+        cfg.content = ContentDesc::small(seed ^ 1, 60);
+        let o = Session::new(cfg, Protocol::Dcop)
+            .time_limit(SimDuration::from_secs(300))
+            .run();
+        prop_assert_eq!(o.activated as usize, n, "coverage failure");
+        prop_assert!(o.complete, "missing {} packets", o.leaf_missing);
+        prop_assert!(o.rounds >= 1);
+    }
+
+    /// TCoP terminates with full coverage, unique parents (every peer
+    /// claimed exactly once), and rounds in multiples of three.
+    #[test]
+    fn tcop_builds_a_covering_tree((n, fanout, seed) in arb_shape()) {
+        let mut cfg = SessionConfig::small(n, fanout, seed);
+        cfg.content = ContentDesc::small(seed ^ 2, 60);
+        cfg.piggyback = Piggyback::SelectionsOnly;
+        let (o, world, _) = Session::new(cfg, Protocol::Tcop)
+            .time_limit(SimDuration::from_secs(300))
+            .run_with_world();
+        prop_assert_eq!(o.activated as usize, n, "coverage failure");
+        prop_assert!(o.complete, "missing {} packets", o.leaf_missing);
+        for i in 0..n {
+            let p: &TcopPeer = world.actor_as(ActorId(i as u32)).unwrap();
+            prop_assert!(p.has_parent(), "CP{} unclaimed", i + 1);
+        }
+    }
+
+    /// Identical seeds give identical outcomes; the protocols are
+    /// bit-deterministic under the simulator.
+    #[test]
+    fn sessions_are_deterministic(
+        (n, fanout, seed) in arb_shape(),
+        proto_pick in 0usize..2,
+    ) {
+        let protocol = [Protocol::Dcop, Protocol::Tcop][proto_pick];
+        let mk = || {
+            let mut cfg = SessionConfig::small(n, fanout, seed);
+            cfg.content = ContentDesc::small(seed ^ 3, 40);
+            Session::new(cfg, protocol)
+                .time_limit(SimDuration::from_secs(300))
+                .run()
+        };
+        let a = mk();
+        let b = mk();
+        prop_assert_eq!(a.coord_msgs_total, b.coord_msgs_total);
+        prop_assert_eq!(a.rounds, b.rounds);
+        prop_assert_eq!(a.sync_nanos, b.sync_nanos);
+        prop_assert_eq!(a.data_msgs, b.data_msgs);
+        prop_assert_eq!(a.complete_nanos, b.complete_nanos);
+    }
+
+    /// The received volume never drops below 1.0 for a complete stream
+    /// (the leaf must at least receive the content) and stays below the
+    /// full-duplication bound for sane parameters.
+    #[test]
+    fn volume_ratio_is_bounded((n, fanout, seed) in arb_shape()) {
+        let mut cfg = SessionConfig::small(n, fanout, seed);
+        cfg.content = ContentDesc::small(seed ^ 4, 80);
+        let o = Session::new(cfg, Protocol::Dcop)
+            .time_limit(SimDuration::from_secs(300))
+            .run();
+        prop_assert!(o.complete);
+        prop_assert!(o.receipt_volume_ratio >= 0.999,
+            "volume {} below content size", o.receipt_volume_ratio);
+        // h = max(1, H-1): duplication tops out at 2× plus slack for
+        // merge-era re-sends.
+        prop_assert!(o.receipt_volume_ratio < 3.0,
+            "volume {} implausibly redundant", o.receipt_volume_ratio);
+    }
+
+    /// Killing any single peer after coordination still yields ≥97%
+    /// of the content (parity + redundancy absorb almost everything).
+    #[test]
+    fn single_crash_is_mostly_masked(
+        n in 6usize..20,
+        seed in any::<u64>(),
+        victim in 0usize..20,
+    ) {
+        let fanout = 4.min(n);
+        let mut cfg = SessionConfig::small(n, fanout, seed);
+        cfg.content = ContentDesc::small(seed ^ 5, 120);
+        let victim = PeerId((victim % n) as u32);
+        let o = Session::new(cfg, Protocol::Dcop)
+            .fault(SimDuration::from_millis(80), victim)
+            .time_limit(SimDuration::from_secs(300))
+            .run();
+        prop_assert_eq!(o.activated as usize, n);
+        prop_assert!(o.leaf_missing <= 4,
+            "single crash of {victim} lost {} of 120 packets", o.leaf_missing);
+    }
+}

@@ -1,0 +1,170 @@
+//! Ablations over the interpretation knobs DESIGN.md calls out.
+//!
+//! The paper's pseudocode underdetermines three DCoP design choices; each
+//! materially changes the coordination bill or the redundancy bill:
+//!
+//! - **view piggybacking** (`FullView` vs the literal `SelectionsOnly`),
+//! - **re-enhancement** (`DataOnly` vs the nested parity-over-parity of
+//!   the §3.6 examples — the latter compounds `(h+1)/h` per tree level),
+//! - **trailing-segment parity** (protect partial segments or not).
+
+use mss_core::config::{Piggyback, Reenhance};
+use mss_core::prelude::*;
+
+use super::{ExperimentOutput, RunOpts};
+use crate::sweep::{mean, run_parallel};
+use crate::table::{f, Table};
+
+/// One ablation cell.
+#[derive(Clone, Debug)]
+pub struct AblationRow {
+    /// Piggybacking variant.
+    pub piggyback: Piggyback,
+    /// Re-enhancement mode.
+    pub reenhance: Reenhance,
+    /// Trailing-segment parity.
+    pub tail_parity: bool,
+    /// Mean messages until full activation.
+    pub msgs: f64,
+    /// Mean rounds.
+    pub rounds: f64,
+    /// Mean received-volume ratio.
+    pub volume: f64,
+    /// Completion fraction.
+    pub complete: f64,
+}
+
+/// Run the 2×2×2 DCoP ablation grid.
+pub fn sweep(opts: &RunOpts) -> Vec<AblationRow> {
+    let cells: Vec<(Piggyback, Reenhance, bool)> = [Piggyback::FullView, Piggyback::SelectionsOnly]
+        .into_iter()
+        .flat_map(|pb| {
+            [Reenhance::None, Reenhance::DataOnly, Reenhance::Nested]
+                .into_iter()
+                .flat_map(move |re| [false, true].into_iter().map(move |tp| (pb, re, tp)))
+        })
+        .collect();
+    let points: Vec<((Piggyback, Reenhance, bool), u64)> = cells
+        .iter()
+        .flat_map(|&c| (0..opts.seeds).map(move |s| (c, s)))
+        .collect();
+    let outcomes = run_parallel(&points, opts.threads, |&((pb, re, tp), seed)| {
+        let mut cfg = SessionConfig::paper_eval(20, 0xAB_0000 + seed * 911);
+        cfg.data_plane = true;
+        cfg.content = ContentDesc::small(seed + 31, 400);
+        cfg.piggyback = pb;
+        cfg.reenhance = re;
+        cfg.tail_parity = tp;
+        Session::new(cfg, Protocol::Dcop)
+            .time_limit(SimDuration::from_secs(60))
+            .run()
+    });
+    cells
+        .iter()
+        .enumerate()
+        .map(|(ci, &(piggyback, reenhance, tail_parity))| {
+            let runs = &outcomes[ci * opts.seeds as usize..(ci + 1) * opts.seeds as usize];
+            AblationRow {
+                piggyback,
+                reenhance,
+                tail_parity,
+                msgs: mean(
+                    &runs
+                        .iter()
+                        .map(|o| o.coord_msgs_until_active as f64)
+                        .collect::<Vec<_>>(),
+                ),
+                rounds: mean(&runs.iter().map(|o| f64::from(o.rounds)).collect::<Vec<_>>()),
+                volume: mean(
+                    &runs
+                        .iter()
+                        .map(|o| o.receipt_volume_ratio)
+                        .collect::<Vec<_>>(),
+                ),
+                complete: mean(
+                    &runs
+                        .iter()
+                        .map(|o| o.complete as u8 as f64)
+                        .collect::<Vec<_>>(),
+                ),
+            }
+        })
+        .collect()
+}
+
+/// Run the ablation experiment.
+pub fn run(opts: &RunOpts) -> ExperimentOutput {
+    let rows = sweep(opts);
+    let mut t = Table::new(
+        "DCoP design ablations (n=100, H=20, h=19, 400-packet content)",
+        &[
+            "piggyback",
+            "reenhance",
+            "tail_parity",
+            "msgs_until_sync",
+            "rounds",
+            "recv_volume",
+            "complete",
+        ],
+    );
+    for r in &rows {
+        t.push(vec![
+            format!("{:?}", r.piggyback),
+            format!("{:?}", r.reenhance),
+            r.tail_parity.to_string(),
+            f(r.msgs, 0),
+            f(r.rounds, 1),
+            f(r.volume, 3),
+            f(r.complete, 2),
+        ]);
+    }
+    ExperimentOutput {
+        name: "ablation_dcop",
+        tables: vec![t],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_grid_shows_the_expected_contrasts() {
+        let opts = RunOpts {
+            seeds: 2,
+            threads: 2,
+            full: false,
+        };
+        let rows = sweep(&opts);
+        assert_eq!(rows.len(), 12);
+        for r in &rows {
+            assert_eq!(r.complete, 1.0, "{r:?} failed to stream");
+        }
+        // Nested re-enhancement always costs at least as much redundancy
+        // as DataOnly at the same other settings.
+        for pb in [Piggyback::FullView, Piggyback::SelectionsOnly] {
+            for tp in [false, true] {
+                let d = rows
+                    .iter()
+                    .find(|r| {
+                        r.piggyback == pb
+                            && r.tail_parity == tp
+                            && r.reenhance == Reenhance::DataOnly
+                    })
+                    .unwrap();
+                let n = rows
+                    .iter()
+                    .find(|r| {
+                        r.piggyback == pb && r.tail_parity == tp && r.reenhance == Reenhance::Nested
+                    })
+                    .unwrap();
+                assert!(
+                    n.volume >= d.volume - 0.02,
+                    "nested {} < data-only {}",
+                    n.volume,
+                    d.volume
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Protocol face-off: DCoP and TCoP against the four baselines of §3.1
+//! and references \[5\]/\[8\], on one workload.
+//!
+//! The paper argues qualitatively that broadcast floods, the unicast
+//! chain crawls, and centralized coordination blocks on its slowest
+//! participant; this table quantifies all of it in one place.
+
+use mss_core::config::Piggyback;
+use mss_core::prelude::*;
+
+use super::{ExperimentOutput, RunOpts};
+use crate::sweep::{mean, run_parallel};
+use crate::table::{f, Table};
+
+/// Aggregated per-protocol comparison row.
+#[derive(Clone, Debug)]
+pub struct CompareRow {
+    /// Protocol under test.
+    pub protocol: Protocol,
+    /// Mean rounds to synchronize.
+    pub rounds: f64,
+    /// Mean coordination messages until full activation.
+    pub msgs: f64,
+    /// Mean coordination kilobytes (whole run).
+    pub kbytes: f64,
+    /// Mean milliseconds to full activation.
+    pub sync_ms: f64,
+    /// Mean received-volume ratio.
+    pub volume: f64,
+    /// Mean milliseconds until the leaf had every byte.
+    pub complete_ms: f64,
+    /// Fraction of runs that fully reconstructed.
+    pub complete: f64,
+}
+
+/// Run every protocol on the same workload.
+pub fn sweep(n: usize, fanout: usize, opts: &RunOpts) -> Vec<CompareRow> {
+    let points: Vec<(Protocol, u64)> = Protocol::ALL
+        .iter()
+        .flat_map(|&p| (0..opts.seeds).map(move |s| (p, s)))
+        .collect();
+    let outcomes = run_parallel(&points, opts.threads, |&(protocol, seed)| {
+        let mut cfg = SessionConfig::small(n, fanout, 0xC0_0000 + seed * 6151);
+        cfg.content = ContentDesc::small(seed + 3, 400);
+        if protocol == Protocol::Tcop {
+            cfg.piggyback = Piggyback::SelectionsOnly;
+        }
+        Session::new(cfg, protocol)
+            .time_limit(SimDuration::from_secs(120))
+            .run()
+    });
+    Protocol::ALL
+        .iter()
+        .enumerate()
+        .map(|(pi, &protocol)| {
+            let runs = &outcomes[pi * opts.seeds as usize..(pi + 1) * opts.seeds as usize];
+            CompareRow {
+                protocol,
+                rounds: mean(&runs.iter().map(|o| f64::from(o.rounds)).collect::<Vec<_>>()),
+                msgs: mean(
+                    &runs
+                        .iter()
+                        .map(|o| o.coord_msgs_until_active as f64)
+                        .collect::<Vec<_>>(),
+                ),
+                kbytes: mean(
+                    &runs
+                        .iter()
+                        .map(|o| o.coord_bytes as f64 / 1e3)
+                        .collect::<Vec<_>>(),
+                ),
+                sync_ms: mean(
+                    &runs
+                        .iter()
+                        .map(|o| o.sync_nanos as f64 / 1e6)
+                        .collect::<Vec<_>>(),
+                ),
+                volume: mean(
+                    &runs
+                        .iter()
+                        .map(|o| o.receipt_volume_ratio)
+                        .collect::<Vec<_>>(),
+                ),
+                complete_ms: mean(
+                    &runs
+                        .iter()
+                        .map(|o| o.complete_nanos.unwrap_or(u64::MAX) as f64 / 1e6)
+                        .collect::<Vec<_>>(),
+                ),
+                complete: mean(
+                    &runs
+                        .iter()
+                        .map(|o| o.complete as u8 as f64)
+                        .collect::<Vec<_>>(),
+                ),
+            }
+        })
+        .collect()
+}
+
+/// Run the comparison experiment.
+pub fn run(opts: &RunOpts) -> ExperimentOutput {
+    let rows = sweep(50, 8, opts);
+    let mut t = Table::new(
+        "Protocol comparison (n=50, H=8, h=H-1, 400-packet content)",
+        &[
+            "protocol",
+            "rounds",
+            "msgs_until_sync",
+            "coord_kbytes",
+            "sync_ms",
+            "recv_volume",
+            "complete_ms",
+            "complete",
+        ],
+    );
+    for r in &rows {
+        t.push(vec![
+            r.protocol.name().to_owned(),
+            f(r.rounds, 1),
+            f(r.msgs, 0),
+            f(r.kbytes, 1),
+            f(r.sync_ms, 2),
+            f(r.volume, 3),
+            f(r.complete_ms, 1),
+            f(r.complete, 2),
+        ]);
+    }
+    ExperimentOutput {
+        name: "compare_protocols",
+        tables: vec![t],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baselines_have_their_signature_behaviours() {
+        let opts = RunOpts {
+            seeds: 2,
+            threads: 2,
+            full: false,
+        };
+        let rows = sweep(20, 4, &opts);
+        let get = |p: Protocol| rows.iter().find(|r| r.protocol == p).unwrap();
+        // Everyone completes.
+        for r in &rows {
+            assert_eq!(r.complete, 1.0, "{} incomplete", r.protocol.name());
+        }
+        // Unicast crawls: most rounds of anyone.
+        let unicast = get(Protocol::Unicast);
+        assert!(rows.iter().all(|r| r.rounds <= unicast.rounds));
+        // Broadcast floods: most messages until sync of anyone, 1 round.
+        let bcast = get(Protocol::Broadcast);
+        assert_eq!(bcast.rounds, 1.0);
+        assert!(rows
+            .iter()
+            .filter(|r| r.protocol != Protocol::Broadcast)
+            .all(|r| r.msgs <= bcast.msgs));
+        // Centralized is exactly 3 rounds.
+        assert_eq!(get(Protocol::Centralized).rounds, 3.0);
+        // Leaf-schedule is 1 round, n messages, but the most coordination
+        // bytes per message (explicit schedules).
+        let ls = get(Protocol::LeafSchedule);
+        assert_eq!(ls.rounds, 1.0);
+        assert_eq!(ls.msgs, 20.0);
+        assert!(ls.kbytes / ls.msgs > bcast.kbytes / bcast.msgs);
+        // DCoP beats TCoP on rounds and messages (the paper's conclusion).
+        let dcop = get(Protocol::Dcop);
+        let tcop = get(Protocol::Tcop);
+        assert!(dcop.rounds < tcop.rounds);
+        assert!(dcop.msgs < tcop.msgs);
+    }
+}

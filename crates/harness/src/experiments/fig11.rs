@@ -1,0 +1,98 @@
+//! Figure 11 — TCoP: synchronization rounds and control packets vs `H`.
+//!
+//! Same setup as Figure 10 (`n = 100`, `h = 1`), for the tree-based
+//! protocol. Anchor point: `H = 60` → 6 rounds, ≈7400 control packets —
+//! both reproduced by the literal (`SelectionsOnly`) piggybacking the
+//! pseudocode describes: probes carry only the prober's selections, so a
+//! committed wave still sees unexplored peers and runs one more
+//! (3-round) probe wave; nearly every probe at large `H` is wasted on an
+//! already-claimed peer, which is where the ≈`H·n` message bill comes
+//! from.
+
+use mss_core::config::Piggyback;
+use mss_core::prelude::*;
+
+use super::{fig10, ExperimentOutput, RunOpts};
+use crate::table::{f, Table};
+
+/// Run the Figure 11 reproduction.
+pub fn run(opts: &RunOpts) -> ExperimentOutput {
+    let literal = fig10::sweep(Protocol::Tcop, Piggyback::SelectionsOnly, opts);
+    let full = fig10::sweep(Protocol::Tcop, Piggyback::FullView, opts);
+    let mut t = Table::new(
+        "Figure 11 — TCoP rounds and control packets vs H (n=100, h=1)",
+        &[
+            "H",
+            "rounds",
+            "msgs_until_sync",
+            "msgs_total",
+            "kbytes",
+            "sync_ms",
+            "coverage",
+            "msgs_fullview_variant",
+        ],
+    );
+    for (a, b) in literal.iter().zip(full.iter()) {
+        t.push(vec![
+            a.fanout.to_string(),
+            f(a.rounds, 2),
+            f(a.msgs_until_active, 0),
+            f(a.msgs_total, 0),
+            f(a.bytes / 1e3, 1),
+            f(a.sync_ms, 2),
+            f(a.coverage, 2),
+            f(b.msgs_until_active, 0),
+        ]);
+    }
+    ExperimentOutput {
+        name: "fig11_tcop",
+        tables: vec![t],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts() -> RunOpts {
+        RunOpts {
+            seeds: 2,
+            threads: 2,
+            full: false,
+        }
+    }
+
+    #[test]
+    fn tcop_anchor_h60_six_rounds_about_7400_messages() {
+        let rows = fig10::sweep(Protocol::Tcop, Piggyback::SelectionsOnly, &quick_opts());
+        let r60 = rows.iter().find(|r| r.fanout == 60).unwrap();
+        assert!(
+            (r60.rounds - 6.0).abs() < 0.1,
+            "rounds {} != 6 (paper anchor)",
+            r60.rounds
+        );
+        assert!(
+            r60.msgs_until_active > 6_000.0 && r60.msgs_until_active < 13_000.0,
+            "msgs {} far from the paper's ~7400",
+            r60.msgs_until_active
+        );
+        assert_eq!(r60.coverage, 1.0);
+    }
+
+    #[test]
+    fn tcop_needs_triple_the_rounds_of_dcop() {
+        let opts = quick_opts();
+        let tcop = fig10::sweep(Protocol::Tcop, Piggyback::SelectionsOnly, &opts);
+        let dcop = fig10::sweep(Protocol::Dcop, Piggyback::FullView, &opts);
+        for h in [30usize, 60] {
+            let t = tcop.iter().find(|r| r.fanout == h).unwrap();
+            let d = dcop.iter().find(|r| r.fanout == h).unwrap();
+            assert!(
+                t.rounds >= 2.9 * d.rounds,
+                "H={h}: TCoP {} vs DCoP {}",
+                t.rounds,
+                d.rounds
+            );
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Packet loss — i.i.d. and Gilbert–Elliott bursty channels.
+//!
+//! The paper motivates parity with "packets are lost and delayed in
+//! networks … in a bursty manner". This experiment streams through lossy
+//! links (loss applies to *all* traffic, coordination included — a lost
+//! control packet costs activations too) and reports how far parity
+//! recovery carries the stream.
+
+use mss_core::config::RepairConfig;
+use mss_core::prelude::*;
+use mss_sim::link::{FixedLatency, GilbertElliott, IidLoss};
+
+use super::{ExperimentOutput, RunOpts};
+use crate::sweep::{mean, run_parallel};
+use crate::table::{f, Table};
+
+/// Channel model under test.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum LossKind {
+    /// Independent per-packet loss with probability `p`.
+    Iid(f64),
+    /// Two-state bursty loss; `p` is the good→bad transition probability
+    /// (bursts drop everything, recover with probability 0.2/packet).
+    Bursty(f64),
+}
+
+impl LossKind {
+    fn label(&self) -> String {
+        match self {
+            LossKind::Iid(p) => format!("iid p={p}"),
+            LossKind::Bursty(p) => format!("bursty p_gb={p}"),
+        }
+    }
+}
+
+/// Aggregated outcome for one loss setting.
+#[derive(Clone, Debug)]
+pub struct LossRow {
+    /// The channel model.
+    pub kind: LossKind,
+    /// Fraction of runs with complete reconstruction.
+    pub complete: f64,
+    /// Mean data packets recovered via parity.
+    pub recovered: f64,
+    /// Mean data packets missing at the end.
+    pub missing: f64,
+    /// Mean fraction of peers that activated.
+    pub activation: f64,
+}
+
+/// Sweep loss settings for one protocol.
+pub fn sweep(protocol: Protocol, kinds: &[LossKind], opts: &RunOpts) -> Vec<LossRow> {
+    sweep_with_repair(protocol, kinds, None, opts)
+}
+
+/// [`sweep`] with optional leaf-driven NACK repair.
+pub fn sweep_with_repair(
+    protocol: Protocol,
+    kinds: &[LossKind],
+    repair: Option<RepairConfig>,
+    opts: &RunOpts,
+) -> Vec<LossRow> {
+    let points: Vec<(LossKind, u64)> = kinds
+        .iter()
+        .flat_map(|&k| (0..opts.seeds).map(move |s| (k, s)))
+        .collect();
+    let outcomes = run_parallel(&points, opts.threads, |&(kind, seed)| {
+        let mut cfg = SessionConfig::small(20, 4, 0x105_0000 + seed * 3571);
+        cfg.content = ContentDesc::small(seed + 17, 600);
+        cfg.repair = repair;
+        let base = FixedLatency::new(SimDuration::from_millis(1));
+        let session = Session::new(cfg, protocol).time_limit(SimDuration::from_secs(120));
+        let session = match kind {
+            LossKind::Iid(p) => session.link(IidLoss { p, inner: base }),
+            LossKind::Bursty(p) => session.link(GilbertElliott::new(p, 0.2, 0.0, 1.0, base)),
+        };
+        session.run()
+    });
+    kinds
+        .iter()
+        .enumerate()
+        .map(|(ki, &kind)| {
+            let runs = &outcomes[ki * opts.seeds as usize..(ki + 1) * opts.seeds as usize];
+            LossRow {
+                kind,
+                complete: mean(
+                    &runs
+                        .iter()
+                        .map(|o| o.complete as u8 as f64)
+                        .collect::<Vec<_>>(),
+                ),
+                recovered: mean(
+                    &runs
+                        .iter()
+                        .map(|o| o.recovered_via_parity as f64)
+                        .collect::<Vec<_>>(),
+                ),
+                missing: mean(
+                    &runs
+                        .iter()
+                        .map(|o| o.leaf_missing as f64)
+                        .collect::<Vec<_>>(),
+                ),
+                activation: mean(
+                    &runs
+                        .iter()
+                        .map(|o| o.activated as f64 / o.n as f64)
+                        .collect::<Vec<_>>(),
+                ),
+            }
+        })
+        .collect()
+}
+
+/// Run the loss experiment.
+pub fn run(opts: &RunOpts) -> ExperimentOutput {
+    let kinds = [
+        LossKind::Iid(0.0),
+        LossKind::Iid(0.01),
+        LossKind::Iid(0.05),
+        LossKind::Iid(0.10),
+        LossKind::Iid(0.20),
+        LossKind::Bursty(0.002),
+        LossKind::Bursty(0.01),
+    ];
+    let rows = sweep(Protocol::Dcop, &kinds, opts);
+    let repaired = sweep_with_repair(Protocol::Dcop, &kinds, Some(RepairConfig::default()), opts);
+    let mut t = Table::new(
+        "Packet loss — DCoP, n=20, H=4, h=3, 600-packet content          (parity alone vs parity + NACK repair)",
+        &[
+            "channel",
+            "complete_frac",
+            "recovered_pkts",
+            "missing_pkts",
+            "activated_frac",
+            "repaired_complete",
+            "repaired_missing",
+        ],
+    );
+    for (r, rr) in rows.iter().zip(repaired.iter()) {
+        t.push(vec![
+            r.kind.label(),
+            f(r.complete, 2),
+            f(r.recovered, 1),
+            f(r.missing, 1),
+            f(r.activation, 2),
+            f(rr.complete, 2),
+            f(rr.missing, 1),
+        ]);
+    }
+    ExperimentOutput {
+        name: "loss_channels",
+        tables: vec![t],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn light_iid_loss_is_fully_recovered() {
+        let opts = RunOpts {
+            seeds: 3,
+            threads: 2,
+            full: false,
+        };
+        let rows = sweep(
+            Protocol::Dcop,
+            &[LossKind::Iid(0.0), LossKind::Iid(0.01)],
+            &opts,
+        );
+        assert_eq!(rows[0].complete, 1.0);
+        assert_eq!(rows[0].missing, 0.0);
+        assert!(rows[1].recovered > 0.0, "1% loss should exercise recovery");
+        // Coordination messages are lossy too: a dropped control packet
+        // can cost a whole share, so losses are bounded but not zero.
+        assert!(
+            rows[1].missing < 0.1 * 600.0,
+            "1% loss left {} packets missing",
+            rows[1].missing
+        );
+    }
+
+    #[test]
+    fn heavy_loss_degrades_gracefully() {
+        let opts = RunOpts {
+            seeds: 3,
+            threads: 2,
+            full: false,
+        };
+        let rows = sweep(
+            Protocol::Dcop,
+            &[LossKind::Iid(0.01), LossKind::Iid(0.20)],
+            &opts,
+        );
+        assert!(
+            rows[1].missing > rows[0].missing,
+            "20% loss must leave more holes than 1%"
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Membership bootstrap — gossip dissemination of the `CP` set.
+//!
+//! Before any coordination protocol can run, the paper assumes every
+//! participant can enumerate the contents peers. This experiment
+//! measures the gossip bootstrap (overlay::gossip) that supplies that
+//! knowledge: rounds and messages to full membership vs swarm size, for
+//! push and push-pull exchange — the classic O(log n) curves of the
+//! paper's reference \[6\].
+
+use mss_overlay::gossip::{Gossip, GossipStyle};
+
+use super::{ExperimentOutput, RunOpts};
+use crate::sweep::{mean, run_parallel};
+use crate::table::{f, Table};
+
+/// Aggregated outcome per (style, n).
+#[derive(Clone, Debug)]
+pub struct MembershipRow {
+    /// Exchange style.
+    pub style: GossipStyle,
+    /// Swarm size.
+    pub n: usize,
+    /// Mean rounds to full membership.
+    pub rounds: f64,
+    /// Mean gossip messages.
+    pub messages: f64,
+    /// log2(n), for eyeballing the O(log n) claim.
+    pub log2n: f64,
+}
+
+/// Sweep swarm sizes for both styles (fan-out 1).
+pub fn sweep(sizes: &[usize], opts: &RunOpts) -> Vec<MembershipRow> {
+    let styles = [GossipStyle::Push, GossipStyle::PushPull];
+    let points: Vec<(GossipStyle, usize, u64)> = styles
+        .iter()
+        .flat_map(|&st| {
+            sizes
+                .iter()
+                .flat_map(move |&n| (0..opts.seeds).map(move |s| (st, n, s)))
+        })
+        .collect();
+    let outcomes = run_parallel(&points, opts.threads, |&(style, n, seed)| {
+        let mut g = Gossip::new(n, 1, style, 0x3E35 + seed * 7001 + n as u64);
+        let rounds = g
+            .run_to_convergence(100 * n.max(8))
+            .expect("gossip must converge");
+        (rounds as f64, g.messages() as f64)
+    });
+    let mut rows = Vec::new();
+    for (si, &style) in styles.iter().enumerate() {
+        for (ni, &n) in sizes.iter().enumerate() {
+            let base = (si * sizes.len() + ni) * opts.seeds as usize;
+            let runs = &outcomes[base..base + opts.seeds as usize];
+            rows.push(MembershipRow {
+                style,
+                n,
+                rounds: mean(&runs.iter().map(|r| r.0).collect::<Vec<_>>()),
+                messages: mean(&runs.iter().map(|r| r.1).collect::<Vec<_>>()),
+                log2n: (n as f64).log2(),
+            });
+        }
+    }
+    rows
+}
+
+/// Run the membership experiment.
+pub fn run(opts: &RunOpts) -> ExperimentOutput {
+    let rows = sweep(&[16, 32, 64, 128, 256, 512], opts);
+    let mut t = Table::new(
+        "Membership gossip bootstrap — rounds to full CP-set knowledge (fanout 1)",
+        &["style", "n", "rounds", "messages", "log2(n)"],
+    );
+    for r in &rows {
+        t.push(vec![
+            format!("{:?}", r.style),
+            r.n.to_string(),
+            f(r.rounds, 1),
+            f(r.messages, 0),
+            f(r.log2n, 1),
+        ]);
+    }
+    ExperimentOutput {
+        name: "membership_gossip",
+        tables: vec![t],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_scale_logarithmically() {
+        let opts = RunOpts {
+            seeds: 4,
+            threads: 2,
+            full: false,
+        };
+        let rows = sweep(&[32, 256], &opts);
+        for r in &rows {
+            // Comfortably within a constant multiple of log2(n).
+            assert!(
+                r.rounds <= 6.0 * r.log2n + 6.0,
+                "{:?} n={}: {} rounds vs log2(n)={}",
+                r.style,
+                r.n,
+                r.rounds,
+                r.log2n
+            );
+        }
+        // 8x the population should cost only ~log-factor more rounds.
+        let push32 = rows
+            .iter()
+            .find(|r| r.n == 32 && r.style == GossipStyle::Push)
+            .unwrap();
+        let push256 = rows
+            .iter()
+            .find(|r| r.n == 256 && r.style == GossipStyle::Push)
+            .unwrap();
+        assert!(push256.rounds < push32.rounds * 3.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Multi-leaf scalability — the paper's motivating scenario, which its
+//! evaluation never measures: "a large number of leaf peers are required
+//! to be supported" by one swarm of commodity peers.
+//!
+//! `m` leaves request the same content from one shared `n`-peer swarm
+//! (flash crowd: all at once). We report per-leaf completion, aggregate
+//! and worst-case peer load, and coordination cost per leaf — the numbers
+//! that justify MSS over a single-server design.
+
+use mss_core::multi::MultiSession;
+use mss_core::prelude::*;
+
+use super::{ExperimentOutput, RunOpts};
+use crate::sweep::{mean, run_parallel};
+use crate::table::{f, Table};
+
+/// Aggregated outcome for one leaf count.
+#[derive(Clone, Debug)]
+pub struct MultiRow {
+    /// Concurrent leaves `m`.
+    pub leaves: usize,
+    /// Fraction of leaves that fully reconstructed.
+    pub completion: f64,
+    /// Mean per-peer data packets sent (aggregate over sessions / n).
+    pub mean_peer_load: f64,
+    /// Heaviest peer's data packets.
+    pub max_peer_load: f64,
+    /// Max/mean peer load.
+    pub imbalance: f64,
+    /// Coordination messages per leaf.
+    pub coord_per_leaf: f64,
+}
+
+/// Sweep the number of concurrent leaves.
+pub fn sweep(protocol: Protocol, leaf_counts: &[usize], opts: &RunOpts) -> Vec<MultiRow> {
+    let points: Vec<(usize, u64)> = leaf_counts
+        .iter()
+        .flat_map(|&m| (0..opts.seeds).map(move |s| (m, s)))
+        .collect();
+    let outcomes = run_parallel(&points, opts.threads, |&(leaves, seed)| {
+        let mut cfg = SessionConfig::small(50, 6, 0x1EAF_0000 + seed * 6151);
+        cfg.content = ContentDesc::small(seed + 3, 300);
+        MultiSession::new(cfg, protocol, leaves)
+            .time_limit(SimDuration::from_secs(300))
+            .run()
+    });
+    leaf_counts
+        .iter()
+        .enumerate()
+        .map(|(li, &leaves)| {
+            let runs = &outcomes[li * opts.seeds as usize..(li + 1) * opts.seeds as usize];
+            MultiRow {
+                leaves,
+                completion: mean(&runs.iter().map(|o| o.completion()).collect::<Vec<_>>()),
+                mean_peer_load: mean(
+                    &runs
+                        .iter()
+                        .map(|o| {
+                            o.per_peer_sent.iter().sum::<u64>() as f64
+                                / o.per_peer_sent.len() as f64
+                        })
+                        .collect::<Vec<_>>(),
+                ),
+                max_peer_load: mean(
+                    &runs
+                        .iter()
+                        .map(|o| o.max_peer_sent() as f64)
+                        .collect::<Vec<_>>(),
+                ),
+                imbalance: mean(&runs.iter().map(|o| o.load_imbalance()).collect::<Vec<_>>()),
+                coord_per_leaf: mean(
+                    &runs
+                        .iter()
+                        .map(|o| o.coord_msgs as f64 / leaves as f64)
+                        .collect::<Vec<_>>(),
+                ),
+            }
+        })
+        .collect()
+}
+
+/// Run the multi-leaf scalability experiment.
+pub fn run(opts: &RunOpts) -> ExperimentOutput {
+    let rows = sweep(Protocol::Dcop, &[1, 2, 4, 8, 16], opts);
+    let mut t = Table::new(
+        "Multi-leaf scalability — DCoP, n=50 shared peers, flash crowd of m leaves",
+        &[
+            "leaves",
+            "completion",
+            "mean_peer_load",
+            "max_peer_load",
+            "imbalance",
+            "coord_msgs_per_leaf",
+        ],
+    );
+    for r in &rows {
+        t.push(vec![
+            r.leaves.to_string(),
+            f(r.completion, 2),
+            f(r.mean_peer_load, 1),
+            f(r.max_peer_load, 1),
+            f(r.imbalance, 2),
+            f(r.coord_per_leaf, 0),
+        ]);
+    }
+    ExperimentOutput {
+        name: "multileaf_scalability",
+        tables: vec![t],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_scales_linearly_with_leaves_and_everyone_completes() {
+        let opts = RunOpts {
+            seeds: 2,
+            threads: 2,
+            full: false,
+        };
+        let rows = sweep(Protocol::Dcop, &[1, 4], &opts);
+        assert_eq!(rows[0].completion, 1.0);
+        assert_eq!(rows[1].completion, 1.0);
+        // 4 leaves ≈ 4× the per-peer load of 1 leaf (shared swarm).
+        let ratio = rows[1].mean_peer_load / rows[0].mean_peer_load;
+        assert!(
+            (3.0..5.0).contains(&ratio),
+            "load ratio {ratio} not ~4x for 4 leaves"
+        );
+        // Coordination cost per leaf does not grow with the crowd.
+        assert!(rows[1].coord_per_leaf < rows[0].coord_per_leaf * 1.5);
+    }
+}

@@ -1,0 +1,140 @@
+//! Leaf buffer overrun — the `ρ_s` constraint of §3.1.
+//!
+//! "If `Hτ ≤ ρ_s`, LP_s receives every packet … Otherwise, LP_s loses
+//! packets due to the buffer overrun." The broadcast baseline starts with
+//! every peer sending the *whole* content at rate `τ`, so the leaf sees
+//! `n·τ` until the group converges; DCoP's divided schedules stay near
+//! `τ(h+1)/h` throughout. This experiment bounds the leaf at a budget of
+//! `ρ_s = k·τ` and counts what the gate had to drop.
+
+use mss_core::prelude::*;
+use mss_media::buffer::OverrunGate;
+
+use super::{ExperimentOutput, RunOpts};
+use crate::sweep::{mean, run_parallel};
+use crate::table::{f, Table};
+
+/// Aggregated outcome for one (protocol, ρ_s multiple) cell.
+#[derive(Clone, Debug)]
+pub struct OverrunRow {
+    /// Protocol under test.
+    pub protocol: Protocol,
+    /// ρ_s as a multiple of the content rate τ.
+    pub rho_multiple: f64,
+    /// Mean packets dropped by the gate.
+    pub overruns: f64,
+    /// Fraction of runs that still reconstructed everything.
+    pub complete: f64,
+    /// Mean data packets missing.
+    pub missing: f64,
+}
+
+/// Sweep ρ_s budgets for the given protocols.
+pub fn sweep(protocols: &[Protocol], rhos: &[f64], opts: &RunOpts) -> Vec<OverrunRow> {
+    let points: Vec<(Protocol, f64, u64)> = protocols
+        .iter()
+        .flat_map(|&p| {
+            rhos.iter()
+                .flat_map(move |&r| (0..opts.seeds).map(move |s| (p, r, s)))
+        })
+        .collect();
+    let outcomes = run_parallel(&points, opts.threads, |&(protocol, rho, seed)| {
+        let mut cfg = SessionConfig::small(30, 4, 0x0E_0000 + seed * 1861);
+        cfg.content = ContentDesc::small(seed + 23, 600);
+        let bytes_per_sec = (cfg.content.rate_bps as f64 / 8.0 * rho) as u64;
+        // Tight burst allowance (~10 ms at ρ_s): the broadcast phase in
+        // which every peer sends at τ must not fit.
+        let gate = OverrunGate::new(bytes_per_sec.max(1), bytes_per_sec / 100 + 1);
+        Session::new(cfg, protocol)
+            .gate(gate)
+            .time_limit(SimDuration::from_secs(120))
+            .run()
+    });
+    points
+        .chunks(opts.seeds as usize)
+        .zip(outcomes.chunks(opts.seeds as usize))
+        .map(|(pts, runs)| OverrunRow {
+            protocol: pts[0].0,
+            rho_multiple: pts[0].1,
+            overruns: mean(
+                &runs
+                    .iter()
+                    .map(|o| o.leaf_overruns as f64)
+                    .collect::<Vec<_>>(),
+            ),
+            complete: mean(
+                &runs
+                    .iter()
+                    .map(|o| o.complete as u8 as f64)
+                    .collect::<Vec<_>>(),
+            ),
+            missing: mean(
+                &runs
+                    .iter()
+                    .map(|o| o.leaf_missing as f64)
+                    .collect::<Vec<_>>(),
+            ),
+        })
+        .collect()
+}
+
+/// Run the overrun experiment.
+pub fn run(opts: &RunOpts) -> ExperimentOutput {
+    let rows = sweep(
+        &[Protocol::Dcop, Protocol::Broadcast],
+        &[1.5, 2.0, 5.0, 10.0],
+        opts,
+    );
+    let mut t = Table::new(
+        "Leaf buffer overrun — ρ_s budget vs protocol (n=30, H=4, h=3)",
+        &[
+            "protocol",
+            "rho/τ",
+            "overrun_drops",
+            "complete_frac",
+            "missing_pkts",
+        ],
+    );
+    for r in &rows {
+        t.push(vec![
+            r.protocol.name().to_owned(),
+            f(r.rho_multiple, 1),
+            f(r.overruns, 1),
+            f(r.complete, 2),
+            f(r.missing, 1),
+        ]);
+    }
+    ExperimentOutput {
+        name: "overrun_rho",
+        tables: vec![t],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_overruns_where_dcop_fits() {
+        let opts = RunOpts {
+            seeds: 3,
+            threads: 2,
+            full: false,
+        };
+        let rows = sweep(&[Protocol::Dcop, Protocol::Broadcast], &[3.0], &opts);
+        let dcop = rows.iter().find(|r| r.protocol == Protocol::Dcop).unwrap();
+        let bcast = rows
+            .iter()
+            .find(|r| r.protocol == Protocol::Broadcast)
+            .unwrap();
+        // DCoP's aggregate ≈ 1.33τ fits a 3τ budget; broadcast's initial
+        // n·τ = 30τ cannot.
+        assert_eq!(dcop.complete, 1.0, "DCoP should fit ρ=3τ");
+        assert!(
+            bcast.overruns > 10.0 * (dcop.overruns + 1.0),
+            "broadcast {} vs dcop {}",
+            bcast.overruns,
+            dcop.overruns
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Startup latency — the real-time constraint the paper states ("a leaf
+//! peer receives every data of a content at the required rate") but never
+//! measures: how much playout buffer delay does each protocol need before
+//! the leaf can play straight through without a stall?
+//!
+//! For each run we compute the *minimal zero-stall startup delay* `D*`:
+//! with playout of packet `k` scheduled at `start + D* + (k−1)·τ_pkt`,
+//! `D*` is the smallest delay for which every packet is decodable by its
+//! deadline — directly from the leaf's recorded availability times:
+//! `D* = max_k (avail_k − first − (k−1)·τ_pkt)`.
+
+use mss_core::config::Piggyback;
+use mss_core::leaf::LeafActor;
+use mss_core::prelude::*;
+use mss_core::session::Session;
+use mss_sim::event::ActorId;
+
+use super::{ExperimentOutput, RunOpts};
+use crate::sweep::{mean, run_parallel};
+use crate::table::{f, Table};
+
+/// Minimal zero-stall startup delay in milliseconds, from availability
+/// times (`u64::MAX` entries — packets that never arrived — make the
+/// result `None`).
+pub fn min_startup_ms(avail: &[u64], interval_nanos: u64) -> Option<f64> {
+    let first = avail.iter().copied().filter(|&a| a != u64::MAX).min()?;
+    let mut worst: i128 = 0;
+    for (k, &a) in avail.iter().enumerate() {
+        if a == u64::MAX {
+            return None;
+        }
+        let deadline_offset = k as i128 * interval_nanos as i128;
+        worst = worst.max(a as i128 - first as i128 - deadline_offset);
+    }
+    Some(worst as f64 / 1e6)
+}
+
+/// Aggregated startup row.
+#[derive(Clone, Debug)]
+pub struct StartupRow {
+    /// Protocol under test.
+    pub protocol: Protocol,
+    /// Fan-out `H`.
+    pub fanout: usize,
+    /// Mean minimal zero-stall startup delay (ms).
+    pub startup_ms: f64,
+    /// Mean time to the first decodable packet (ms).
+    pub first_packet_ms: f64,
+    /// Fraction of runs where every packet eventually arrived.
+    pub complete: f64,
+}
+
+/// Sweep fan-outs for both coordination protocols.
+pub fn sweep(fanouts: &[usize], opts: &RunOpts) -> Vec<StartupRow> {
+    let protos = [Protocol::Dcop, Protocol::Tcop];
+    let points: Vec<(Protocol, usize, u64)> = protos
+        .iter()
+        .flat_map(|&p| {
+            fanouts
+                .iter()
+                .flat_map(move |&h| (0..opts.seeds).map(move |s| (p, h, s)))
+        })
+        .collect();
+    let outcomes = run_parallel(&points, opts.threads, |&(protocol, fanout, seed)| {
+        let mut cfg = SessionConfig::small(30, fanout, 0x57A7 + seed * 2953 + fanout as u64);
+        cfg.content = ContentDesc::small(seed + 5, 500);
+        if protocol == Protocol::Tcop {
+            cfg.piggyback = Piggyback::SelectionsOnly;
+        }
+        let interval = cfg.content.packet_interval_nanos();
+        let n = cfg.n;
+        let (outcome, world, _) = Session::new(cfg, protocol)
+            .time_limit(SimDuration::from_secs(120))
+            .run_with_world();
+        let leaf: &LeafActor = world.actor_as(ActorId(n as u32)).expect("leaf");
+        let avail = leaf.availability();
+        let startup = min_startup_ms(avail, interval);
+        let first = avail
+            .iter()
+            .copied()
+            .filter(|&a| a != u64::MAX)
+            .min()
+            .map(|f| f as f64 / 1e6);
+        (outcome.complete, startup, first)
+    });
+    let mut rows = Vec::new();
+    for (pi, &protocol) in protos.iter().enumerate() {
+        for (hi, &fanout) in fanouts.iter().enumerate() {
+            let base = (pi * fanouts.len() + hi) * opts.seeds as usize;
+            let runs = &outcomes[base..base + opts.seeds as usize];
+            rows.push(StartupRow {
+                protocol,
+                fanout,
+                startup_ms: mean(&runs.iter().filter_map(|(_, s, _)| *s).collect::<Vec<_>>()),
+                first_packet_ms: mean(&runs.iter().filter_map(|(_, _, f)| *f).collect::<Vec<_>>()),
+                complete: mean(
+                    &runs
+                        .iter()
+                        .map(|(c, _, _)| *c as u8 as f64)
+                        .collect::<Vec<_>>(),
+                ),
+            });
+        }
+    }
+    rows
+}
+
+/// Run the startup-latency experiment.
+pub fn run(opts: &RunOpts) -> ExperimentOutput {
+    let rows = sweep(&[2, 4, 8, 15, 30], opts);
+    let mut t = Table::new(
+        "Startup latency — minimal zero-stall playout delay (n=30, h=H-1, 500 packets)",
+        &[
+            "protocol",
+            "H",
+            "min_startup_ms",
+            "first_packet_ms",
+            "complete",
+        ],
+    );
+    for r in &rows {
+        t.push(vec![
+            r.protocol.name().to_owned(),
+            r.fanout.to_string(),
+            f(r.startup_ms, 1),
+            f(r.first_packet_ms, 2),
+            f(r.complete, 2),
+        ]);
+    }
+    ExperimentOutput {
+        name: "startup_latency",
+        tables: vec![t],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_startup_is_exact_on_synthetic_traces() {
+        // Packets arriving exactly at the content rate need no buffer.
+        let avail: Vec<u64> = (0..10).map(|k| 1_000 + k * 100).collect();
+        assert_eq!(min_startup_ms(&avail, 100), Some(0.0));
+        // One packet 50 ns late → D* = 50 ns.
+        let mut late = avail.clone();
+        late[5] += 50;
+        let d = min_startup_ms(&late, 100).unwrap();
+        assert!((d - 50e-6).abs() < 1e-12);
+        // A missing packet makes zero-stall playout impossible.
+        late[7] = u64::MAX;
+        assert_eq!(min_startup_ms(&late, 100), None);
+        assert_eq!(min_startup_ms(&[], 100), None);
+    }
+
+    #[test]
+    fn startup_shrinks_with_fanout() {
+        let opts = RunOpts {
+            seeds: 2,
+            threads: 2,
+            full: false,
+        };
+        let rows = sweep(&[2, 30], &opts);
+        let d = |h: usize| {
+            rows.iter()
+                .find(|r| r.protocol == Protocol::Dcop && r.fanout == h)
+                .unwrap()
+        };
+        assert_eq!(d(2).complete, 1.0);
+        assert_eq!(d(30).complete, 1.0);
+        // More initial sources → the stream fills in faster → less
+        // buffering needed before stall-free playout.
+        assert!(
+            d(30).startup_ms < d(2).startup_ms,
+            "H=30 startup {} not below H=2 startup {}",
+            d(30).startup_ms,
+            d(2).startup_ms
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Parallel parameter sweeps over independent simulation runs.
+//!
+//! Each point of a sweep is a self-contained deterministic simulation, so
+//! the sweep parallelizes embarrassingly across OS threads (crossbeam
+//! scoped threads; no work stealing needed — points are coarse). Results
+//! come back in input order regardless of scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Run `job` over every point, using up to `threads` worker threads
+/// (0 = number of available cores). Results are returned in input order.
+pub fn run_parallel<P, T, F>(points: &[P], threads: usize, job: F) -> Vec<T>
+where
+    P: Sync,
+    T: Send,
+    F: Fn(&P) -> T + Sync,
+{
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(4, |n| n.get())
+    } else {
+        threads
+    }
+    .min(points.len().max(1));
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..points.len()).map(|_| None).collect());
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= points.len() {
+                    break;
+                }
+                let out = job(&points[i]);
+                results.lock().expect("poisoned")[i] = Some(out);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    results
+        .into_inner()
+        .expect("poisoned")
+        .into_iter()
+        .map(|o| o.expect("missing sweep result"))
+        .collect()
+}
+
+/// Mean of a sample.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (0 for fewer than two samples).
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_results_are_in_input_order() {
+        let points: Vec<u64> = (0..200).collect();
+        let out = run_parallel(&points, 8, |&p| p * p);
+        let expect: Vec<u64> = points.iter().map(|p| p * p).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let points = vec![1, 2, 3];
+        assert_eq!(run_parallel(&points, 1, |&p| p + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_points() {
+        let points: Vec<u32> = vec![];
+        let out: Vec<u32> = run_parallel(&points, 4, |&p| p);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn stats_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(stddev(&[5.0]), 0.0);
+        assert!((stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.138).abs() < 0.01);
+    }
+}

@@ -1,0 +1,126 @@
+//! ASCII session timeline: a per-peer Gantt of one coordination +
+//! streaming run, for eyeballing how a protocol wakes the swarm up.
+//!
+//! ```text
+//! mss-experiments timeline [dcop|tcop|broadcast|unicast|centralized|leaf-schedule]
+//! ```
+
+use std::fmt::Write as _;
+
+use mss_core::config::Piggyback;
+use mss_core::leaf::LeafActor;
+use mss_core::prelude::*;
+use mss_core::session::Session;
+use mss_sim::event::ActorId;
+
+/// Width of the drawing area in characters.
+const COLS: usize = 64;
+
+/// Render a session timeline for `protocol` into a string.
+pub fn render(protocol: Protocol, n: usize, fanout: usize, seed: u64) -> String {
+    let mut cfg = SessionConfig::small(n, fanout, seed);
+    cfg.content = ContentDesc::small(seed + 61, 150);
+    if protocol == Protocol::Tcop {
+        cfg.piggyback = Piggyback::SelectionsOnly;
+    }
+    let interval = cfg.content.packet_interval_nanos();
+    let (outcome, world, reports) = Session::new(cfg, protocol)
+        .time_limit(SimDuration::from_secs(60))
+        .run_with_world();
+    let leaf: &LeafActor = world.actor_as(ActorId(n as u32)).expect("leaf");
+
+    let end = world.now().as_nanos().max(1);
+    let col_of = |t: u64| ((t as u128 * (COLS as u128 - 1)) / end as u128) as usize;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} — n={n}, H={fanout}: '·' dormant, digit = activation wave, '█' streaming",
+        protocol.name()
+    );
+    let _ = writeln!(
+        out,
+        "time: 0 {:─^width$} {:.1} ms",
+        "",
+        end as f64 / 1e6,
+        width = COLS - 12
+    );
+    for r in &reports {
+        let mut row = vec!['·'; COLS];
+        if r.activated_nanos != u64::MAX {
+            let start = col_of(r.activated_nanos);
+            // Streaming span estimate: activation → activation + sent·interval
+            // at the peer's own pace (bounded by the run end).
+            let stream_end = r
+                .activated_nanos
+                .saturating_add(r.sent.saturating_mul(r.interval_nanos.min(interval * 64)))
+                .min(end);
+            let stop = col_of(stream_end).max(start);
+            for (c, slot) in row.iter_mut().enumerate() {
+                if c >= start && c <= stop {
+                    *slot = '█';
+                } else if c >= start {
+                    *slot = ' ';
+                }
+            }
+            // Mark the activation instant with the wave number.
+            let wave_char = char::from_digit(r.wave.min(9), 10).unwrap_or('+');
+            row[start] = wave_char;
+        }
+        let _ = writeln!(
+            out,
+            "{:>5} │{}│ w{} sent={}",
+            r.me.to_string(),
+            row.iter().collect::<String>(),
+            r.wave,
+            r.sent
+        );
+    }
+    let complete_col = leaf.complete_nanos().map(col_of);
+    let mut leaf_row = vec![' '; COLS];
+    for (i, slot) in leaf_row.iter_mut().enumerate() {
+        if Some(i) == complete_col {
+            *slot = '✔';
+        }
+    }
+    let _ = writeln!(
+        out,
+        " leaf │{}│ complete={} ({:.1} ms), rate={:.3}",
+        leaf_row.iter().collect::<String>(),
+        outcome.complete,
+        leaf.complete_nanos().unwrap_or(0) as f64 / 1e6,
+        outcome.receipt_volume_ratio,
+    );
+    let _ = writeln!(
+        out,
+        "rounds={}  coordination msgs={}  sync={:.2} ms",
+        outcome.rounds,
+        outcome.coord_msgs_until_active,
+        outcome.sync_nanos as f64 / 1e6
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_renders_every_protocol() {
+        for protocol in Protocol::ALL {
+            let t = render(protocol, 8, 3, 11);
+            assert!(t.contains("complete=true"), "{}:\n{t}", protocol.name());
+            // One row per peer plus leaf and headers.
+            assert!(t.lines().count() >= 8 + 3, "{t}");
+        }
+    }
+
+    #[test]
+    fn later_waves_activate_later() {
+        let t = render(Protocol::Unicast, 6, 1, 3);
+        // The unicast chain shows strictly increasing wave numbers 1..6.
+        for w in 1..=6u32 {
+            assert!(t.contains(&format!("w{w} ")), "missing wave {w} in:\n{t}");
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Leaf-side playout accounting: receipt rate, buffer overrun, and
+//! playout continuity.
+//!
+//! The paper bounds the leaf by a **maximum receipt rate** `ρ_s`: if the
+//! aggregate arrival rate exceeds `ρ_s` the buffer overruns and packets
+//! are lost (§3.1). [`OverrunGate`] models that with a token bucket.
+//! [`PlayoutClock`] checks the real-time constraint: packet `t_k` must be
+//! available when the player reaches it, or playout stalls.
+//!
+//! This module is time-unit-agnostic: timestamps are `u64` nanoseconds
+//! supplied by the caller (virtual time in the simulator, wall clock in
+//! the live runtime).
+
+/// Token-bucket model of the leaf's maximum receipt rate `ρ_s`.
+///
+/// Tokens are bytes; the bucket refills at `max_bytes_per_sec` and holds
+/// at most `burst_bytes`. A packet that arrives when the bucket lacks the
+/// bytes for it is dropped (buffer overrun).
+#[derive(Clone, Debug)]
+pub struct OverrunGate {
+    max_bytes_per_sec: u64,
+    burst_bytes: u64,
+    tokens: f64,
+    last_nanos: u64,
+    accepted: u64,
+    overrun: u64,
+}
+
+impl OverrunGate {
+    /// Gate with rate `max_bytes_per_sec` and headroom `burst_bytes`.
+    pub fn new(max_bytes_per_sec: u64, burst_bytes: u64) -> Self {
+        assert!(max_bytes_per_sec > 0);
+        OverrunGate {
+            max_bytes_per_sec,
+            burst_bytes: burst_bytes.max(1),
+            tokens: burst_bytes.max(1) as f64,
+            last_nanos: 0,
+            accepted: 0,
+            overrun: 0,
+        }
+    }
+
+    /// An effectively unlimited gate (for experiments that ignore ρ_s).
+    pub fn unlimited() -> Self {
+        OverrunGate::new(u64::MAX / 4, u64::MAX / 4)
+    }
+
+    /// Offer a packet of `bytes` arriving at `now` nanoseconds.
+    /// Returns true if accepted, false on overrun.
+    pub fn offer(&mut self, now_nanos: u64, bytes: usize) -> bool {
+        if now_nanos > self.last_nanos {
+            let dt = (now_nanos - self.last_nanos) as f64 / 1e9;
+            self.tokens =
+                (self.tokens + dt * self.max_bytes_per_sec as f64).min(self.burst_bytes as f64);
+            self.last_nanos = now_nanos;
+        }
+        if self.tokens >= bytes as f64 {
+            self.tokens -= bytes as f64;
+            self.accepted += 1;
+            true
+        } else {
+            self.overrun += 1;
+            false
+        }
+    }
+
+    /// Packets accepted so far.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Packets dropped to overrun so far.
+    pub fn overrun(&self) -> u64 {
+        self.overrun
+    }
+}
+
+/// Measures aggregate receipt rate over the whole run — the quantity
+/// plotted in the paper's Figure 12, normalized to the content rate.
+#[derive(Clone, Debug, Default)]
+pub struct ReceiptMeter {
+    bytes: u64,
+    packets: u64,
+    first_nanos: Option<u64>,
+    last_nanos: u64,
+}
+
+impl ReceiptMeter {
+    /// Fresh meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a packet of `bytes` arriving at `now`.
+    pub fn record(&mut self, now_nanos: u64, bytes: usize) {
+        self.bytes += bytes as u64;
+        self.packets += 1;
+        if self.first_nanos.is_none() {
+            self.first_nanos = Some(now_nanos);
+        }
+        self.last_nanos = self.last_nanos.max(now_nanos);
+    }
+
+    /// Packets recorded.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Bytes recorded.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Mean receipt rate in bits/second over the observation window
+    /// (None until two distinct arrival times are seen).
+    pub fn mean_bps(&self) -> Option<f64> {
+        let first = self.first_nanos?;
+        if self.last_nanos <= first {
+            return None;
+        }
+        let secs = (self.last_nanos - first) as f64 / 1e9;
+        Some(self.bytes as f64 * 8.0 / secs)
+    }
+}
+
+/// Playout continuity checker.
+///
+/// Playout starts `startup_delay` after the first packet is buffered and
+/// consumes one packet every `interval` nanoseconds. A packet that is not
+/// decodable when its deadline arrives is a *miss* (a visible glitch);
+/// the clock also reports the worst lateness.
+#[derive(Clone, Debug)]
+pub struct PlayoutClock {
+    interval_nanos: u64,
+    startup_nanos: u64,
+    start: Option<u64>,
+}
+
+impl PlayoutClock {
+    /// Clock consuming one packet per `interval_nanos`, starting
+    /// `startup_nanos` after [`PlayoutClock::arm`].
+    pub fn new(interval_nanos: u64, startup_nanos: u64) -> Self {
+        assert!(interval_nanos > 0);
+        PlayoutClock {
+            interval_nanos,
+            startup_nanos,
+            start: None,
+        }
+    }
+
+    /// Begin the startup countdown at `now` (first packet buffered).
+    /// Subsequent calls are ignored.
+    pub fn arm(&mut self, now_nanos: u64) {
+        if self.start.is_none() {
+            self.start = Some(now_nanos + self.startup_nanos);
+        }
+    }
+
+    /// Deadline for data packet `seq` (1-based); None until armed.
+    pub fn deadline(&self, seq: u64) -> Option<u64> {
+        self.start
+            .map(|s| s + (seq - 1).saturating_mul(self.interval_nanos))
+    }
+
+    /// Evaluate continuity given each packet's availability time
+    /// (`avail[k-1]` = nanos when `t_k` became decodable, `u64::MAX` if
+    /// never). Returns (misses, max lateness in nanos).
+    pub fn continuity(&self, avail: &[u64]) -> (u64, u64) {
+        let Some(_) = self.start else {
+            return (avail.len() as u64, u64::MAX);
+        };
+        let mut misses = 0;
+        let mut worst = 0u64;
+        for (i, &a) in avail.iter().enumerate() {
+            let dl = self.deadline(i as u64 + 1).expect("armed");
+            if a > dl {
+                misses += 1;
+                worst = worst.max(a.saturating_sub(dl));
+            }
+        }
+        (misses, worst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_accepts_within_rate() {
+        // 1000 B/s, 100 B burst; one 50-byte packet every 100 ms is fine.
+        let mut g = OverrunGate::new(1_000, 100);
+        for k in 0..20u64 {
+            assert!(g.offer(k * 100_000_000, 50), "packet {k} overran");
+        }
+        assert_eq!(g.accepted(), 20);
+        assert_eq!(g.overrun(), 0);
+    }
+
+    #[test]
+    fn gate_overruns_on_burst_beyond_capacity() {
+        let mut g = OverrunGate::new(1_000, 100);
+        // 5 × 50-byte packets at the same instant: 100-byte bucket takes 2.
+        let accepted = (0..5).filter(|_| g.offer(0, 50)).count();
+        assert_eq!(accepted, 2);
+        assert_eq!(g.overrun(), 3);
+    }
+
+    #[test]
+    fn gate_refills_over_time() {
+        let mut g = OverrunGate::new(1_000, 100);
+        assert!(g.offer(0, 100));
+        assert!(!g.offer(0, 1));
+        // After 50 ms, 50 bytes refilled.
+        assert!(g.offer(50_000_000, 50));
+        assert!(!g.offer(50_000_000, 1));
+    }
+
+    #[test]
+    fn unlimited_gate_never_overruns() {
+        let mut g = OverrunGate::unlimited();
+        for k in 0..1000 {
+            assert!(g.offer(0, 1_000_000 + k));
+        }
+    }
+
+    #[test]
+    fn meter_computes_mean_rate() {
+        let mut m = ReceiptMeter::new();
+        assert_eq!(m.mean_bps(), None);
+        m.record(0, 1000);
+        assert_eq!(m.mean_bps(), None, "single instant has no rate");
+        m.record(1_000_000_000, 1000);
+        // 2000 bytes over 1 s = 16_000 bps.
+        assert!((m.mean_bps().unwrap() - 16_000.0).abs() < 1e-6);
+        assert_eq!(m.packets(), 2);
+        assert_eq!(m.bytes(), 2000);
+    }
+
+    #[test]
+    fn playout_deadlines_progress_at_interval() {
+        let mut c = PlayoutClock::new(1_000, 10_000);
+        assert_eq!(c.deadline(1), None);
+        c.arm(5_000);
+        c.arm(999_999); // ignored
+        assert_eq!(c.deadline(1), Some(15_000));
+        assert_eq!(c.deadline(4), Some(18_000));
+    }
+
+    #[test]
+    fn continuity_counts_misses_and_lateness() {
+        let mut c = PlayoutClock::new(1_000, 0);
+        c.arm(0);
+        // Deadlines: 0, 1000, 2000. Arrivals: on time, 500 late, never.
+        let (misses, worst) = c.continuity(&[0, 1_500, u64::MAX]);
+        assert_eq!(misses, 2);
+        assert_eq!(worst, u64::MAX - 2_000);
+        let (m2, w2) = c.continuity(&[0, 1_000, 2_000]);
+        assert_eq!((m2, w2), (0, 0));
+    }
+
+    #[test]
+    fn unarmed_clock_misses_everything() {
+        let c = PlayoutClock::new(1_000, 0);
+        let (misses, _) = c.continuity(&[0, 0]);
+        assert_eq!(misses, 2);
+    }
+}

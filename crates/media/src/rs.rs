@@ -1,0 +1,282 @@
+//! Systematic Reed–Solomon coding over recovery segments.
+//!
+//! The paper's XOR parity tolerates **one** loss per recovery segment,
+//! but claims "(H − h) contents peers faulty" is survivable — which needs
+//! a code tolerating `r = H − h` losses per segment. `RS(k, r)` delivers
+//! exactly that: `k` data shards plus `r` parity shards, any `k` of the
+//! `k + r` reconstruct the segment.
+//!
+//! Encoding is systematic with Vandermonde parity rows:
+//! `parity_i[b] = Σ_j α^{i·j} · data_j[b]` for parity row `i ∈ 0..r`,
+//! data index `j ∈ 0..k`. Any `k×k` submatrix of the combined
+//! `[I; V]` generator is invertible for `k + r ≤ 255`, so decoding is a
+//! GF(256) Gaussian elimination over the surviving rows.
+
+use crate::gf256;
+
+/// Maximum total shards per segment (field-size bound).
+pub const MAX_SHARDS: usize = 255;
+
+/// Encode `r` parity shards over `data` (equal-length shards).
+///
+/// Panics if `data.is_empty()`, shards have unequal lengths, or
+/// `data.len() + r > MAX_SHARDS`.
+pub fn encode(data: &[&[u8]], r: usize) -> Vec<Vec<u8>> {
+    let k = data.len();
+    assert!(k >= 1, "RS over empty segment");
+    assert!(k + r <= MAX_SHARDS, "too many shards for GF(256)");
+    let len = data[0].len();
+    assert!(data.iter().all(|d| d.len() == len), "unequal shard lengths");
+    (0..r)
+        .map(|i| {
+            let mut parity = vec![0u8; len];
+            for (j, shard) in data.iter().enumerate() {
+                gf256::mul_acc(&mut parity, shard, gf256::exp(i * j));
+            }
+            parity
+        })
+        .collect()
+}
+
+/// One received shard of a segment.
+#[derive(Clone, Debug)]
+pub enum Shard {
+    /// Data shard `j` (0-based within the segment) with its payload.
+    Data(usize, Vec<u8>),
+    /// Parity row `i` with its payload.
+    Parity(usize, Vec<u8>),
+}
+
+/// Reconstruct all `k` data shards of a segment from any `k` (or more)
+/// of its shards. Returns `None` when the shards are insufficient or
+/// inconsistent (singular system).
+pub fn decode(k: usize, shards: &[Shard]) -> Option<Vec<Vec<u8>>> {
+    if k == 0 {
+        return Some(Vec::new());
+    }
+    let len = shards.first().map(|s| match s {
+        Shard::Data(_, p) | Shard::Parity(_, p) => p.len(),
+    })?;
+
+    // Fast path: all data shards present.
+    let mut out: Vec<Option<Vec<u8>>> = vec![None; k];
+    for s in shards {
+        if let Shard::Data(j, p) = s {
+            if *j < k && out[*j].is_none() {
+                out[*j] = Some(p.clone());
+            }
+        }
+    }
+    if out.iter().all(|o| o.is_some()) {
+        return Some(out.into_iter().map(|o| o.expect("checked")).collect());
+    }
+
+    // Build the linear system: each surviving shard is a row of the
+    // generator matrix applied to the unknown data vector.
+    let mut rows: Vec<(Vec<u8>, Vec<u8>)> = Vec::with_capacity(k); // (coeffs, payload)
+    let mut seen_data = vec![false; k];
+    let mut seen_parity = std::collections::HashSet::new();
+    for s in shards {
+        if rows.len() == k {
+            break;
+        }
+        match s {
+            Shard::Data(j, p) => {
+                if *j >= k || seen_data[*j] || p.len() != len {
+                    continue;
+                }
+                seen_data[*j] = true;
+                let mut coeffs = vec![0u8; k];
+                coeffs[*j] = 1;
+                rows.push((coeffs, p.clone()));
+            }
+            Shard::Parity(i, p) => {
+                if p.len() != len || !seen_parity.insert(*i) {
+                    continue;
+                }
+                let coeffs: Vec<u8> = (0..k).map(|j| gf256::exp(i * j)).collect();
+                rows.push((coeffs, p.clone()));
+            }
+        }
+    }
+    if rows.len() < k {
+        return None;
+    }
+
+    // Gaussian elimination over GF(256).
+    for col in 0..k {
+        // Find a pivot with a nonzero coefficient in `col`.
+        let pivot = (col..rows.len()).find(|&r| rows[r].0[col] != 0)?;
+        rows.swap(col, pivot);
+        // Normalize the pivot row.
+        let p = rows[col].0[col];
+        if p != 1 {
+            let pinv = gf256::inv(p);
+            for c in rows[col].0.iter_mut() {
+                *c = gf256::mul(*c, pinv);
+            }
+            gf256::scale(&mut rows[col].1, pinv);
+        }
+        // Eliminate `col` from every other row.
+        let (pivot_coeffs, pivot_payload) = {
+            let r = &rows[col];
+            (r.0.clone(), r.1.clone())
+        };
+        for (r, row) in rows.iter_mut().enumerate() {
+            if r == col {
+                continue;
+            }
+            let factor = row.0[col];
+            if factor == 0 {
+                continue;
+            }
+            for (c, pc) in row.0.iter_mut().zip(pivot_coeffs.iter()) {
+                *c ^= gf256::mul(factor, *pc);
+            }
+            gf256::mul_acc(&mut row.1, &pivot_payload, factor);
+        }
+    }
+    Some(rows.into_iter().take(k).map(|(_, p)| p).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn segment(k: usize, len: usize, seed: u8) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|j| {
+                (0..len)
+                    .map(|b| (seed as usize * 31 + j * 131 + b * 7 + 1) as u8)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_with_no_loss() {
+        let data = segment(5, 32, 1);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let _parity = encode(&refs, 3);
+        let shards: Vec<Shard> = data
+            .iter()
+            .enumerate()
+            .map(|(j, d)| Shard::Data(j, d.clone()))
+            .collect();
+        assert_eq!(decode(5, &shards).unwrap(), data);
+    }
+
+    #[test]
+    fn recovers_r_losses_from_parity() {
+        let k = 6;
+        let r = 3;
+        let data = segment(k, 40, 2);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = encode(&refs, r);
+        // Lose data shards 0, 2, 5 — exactly r losses.
+        let mut shards: Vec<Shard> = Vec::new();
+        for (j, d) in data.iter().enumerate() {
+            if ![0, 2, 5].contains(&j) {
+                shards.push(Shard::Data(j, d.clone()));
+            }
+        }
+        for (i, p) in parity.iter().enumerate() {
+            shards.push(Shard::Parity(i, p.clone()));
+        }
+        assert_eq!(decode(k, &shards).unwrap(), data);
+    }
+
+    #[test]
+    fn cannot_recover_r_plus_one_losses() {
+        let k = 4;
+        let r = 2;
+        let data = segment(k, 16, 3);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = encode(&refs, r);
+        // Lose 3 data shards with only 2 parity rows: k-1+... 1 data + 2
+        // parity = 3 < k rows.
+        let mut shards = vec![Shard::Data(3, data[3].clone())];
+        for (i, p) in parity.iter().enumerate() {
+            shards.push(Shard::Parity(i, p.clone()));
+        }
+        assert!(decode(k, &shards).is_none());
+    }
+
+    #[test]
+    fn xor_parity_is_the_r1_special_case() {
+        // RS with r = 1: parity row 0 has coefficients α^0 = 1 — plain XOR.
+        let data = segment(4, 8, 4);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = encode(&refs, 1);
+        let mut xor = vec![0u8; 8];
+        for d in &data {
+            for (x, b) in xor.iter_mut().zip(d) {
+                *x ^= b;
+            }
+        }
+        assert_eq!(parity[0], xor);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Any loss pattern of ≤ r shards (data and/or parity) decodes.
+        #[test]
+        fn any_r_losses_recover(
+            k in 1usize..10,
+            r in 0usize..5,
+            len in 1usize..40,
+            seed in any::<u8>(),
+            loss_picks in proptest::collection::vec(any::<usize>(), 0..5),
+        ) {
+            let data = segment(k, len, seed);
+            let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+            let parity = encode(&refs, r);
+            // Choose ≤ r distinct shard indices (of k + r) to drop.
+            let total = k + r;
+            let mut lost: Vec<usize> = loss_picks
+                .iter()
+                .take(r)
+                .map(|p| p % total)
+                .collect();
+            lost.sort_unstable();
+            lost.dedup();
+            let mut shards = Vec::new();
+            for (j, d) in data.iter().enumerate() {
+                if !lost.contains(&j) {
+                    shards.push(Shard::Data(j, d.clone()));
+                }
+            }
+            for (i, p) in parity.iter().enumerate() {
+                if !lost.contains(&(k + i)) {
+                    shards.push(Shard::Parity(i, p.clone()));
+                }
+            }
+            let decoded = decode(k, &shards).expect("≤ r losses must decode");
+            prop_assert_eq!(decoded, data);
+        }
+
+        /// Decoding never fabricates: with surviving rows < k it reports
+        /// failure rather than wrong data.
+        #[test]
+        fn insufficient_rows_fail_cleanly(
+            k in 2usize..8,
+            r in 1usize..4,
+            keep in 0usize..7,
+            seed in any::<u8>(),
+        ) {
+            let keep = keep.min(k - 1); // strictly fewer than k rows
+            let data = segment(k, 8, seed);
+            let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+            let parity = encode(&refs, r);
+            let mut shards: Vec<Shard> = (0..keep.min(r))
+                .map(|i| Shard::Parity(i, parity[i].clone()))
+                .collect();
+            for (j, d) in data.iter().enumerate().take(keep.saturating_sub(r)) {
+                shards.push(Shard::Data(j, d.clone()));
+            }
+            prop_assert!(decode(k, &shards).is_none());
+        }
+    }
+}

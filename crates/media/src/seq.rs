@@ -1,0 +1,333 @@
+//! The packet-sequence algebra of paper §2.
+//!
+//! A [`PacketSeq`] is an ordered sequence of distinct packets — a
+//! transmission schedule. The paper defines union (`pkt_1 ∪ pkt_2`),
+//! intersection (`pkt_1 ∩ pkt_2`), prefix (`pkt⟨t]`) and postfix
+//! (`pkt[t⟩`); all four are implemented here.
+//!
+//! Ordering convention: every packet has a *readiness index* — the largest
+//! data sequence number it covers ([`PacketId::max_seq`]) — which is the
+//! point in the stream where the packet becomes useful. `union` merges two
+//! schedules by readiness index (stable, duplicates removed), which
+//! reproduces the paper's §3.6 merge example
+//! `pkt_6 = ⟨t_1, t_5, t_11, t⟨7,⟨9,11⟩,12⟩⟩`.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::packet::{PacketId, Seq};
+
+/// An ordered sequence of distinct packets (a transmission schedule).
+#[derive(Clone, PartialEq, Eq, Default, Debug)]
+pub struct PacketSeq {
+    items: Vec<PacketId>,
+}
+
+/// Sort key used when merging schedules: readiness index first, data
+/// before parity at equal readiness, then coverage for determinism.
+fn merge_key(p: &PacketId) -> (u64, usize, &[Seq]) {
+    (p.max_seq().0, p.coverage_len(), p.coverage_slice())
+}
+
+impl PacketSeq {
+    /// Empty sequence.
+    pub fn new() -> Self {
+        PacketSeq { items: Vec::new() }
+    }
+
+    /// The pure data sequence `⟨t_1, …, t_l⟩`.
+    pub fn data_range(l: u64) -> Self {
+        PacketSeq {
+            items: (1..=l).map(|s| PacketId::Data(Seq(s))).collect(),
+        }
+    }
+
+    /// Build from explicit packets. Repeats are allowed — a schedule may
+    /// legitimately send the same packet twice (e.g. the paper's `h = 1`
+    /// full-duplication mode); the set operations treat repeats as one
+    /// element.
+    pub fn from_ids(ids: Vec<PacketId>) -> Self {
+        PacketSeq { items: ids }
+    }
+
+    /// True when no packet occurs twice.
+    pub fn is_distinct(&self) -> bool {
+        let mut seen = HashSet::with_capacity(self.items.len());
+        self.items.iter().all(|id| seen.insert(id))
+    }
+
+    /// Number of packets, `|pkt|`.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The packets, in schedule order.
+    pub fn ids(&self) -> &[PacketId] {
+        &self.items
+    }
+
+    /// Iterate in schedule order.
+    pub fn iter(&self) -> impl Iterator<Item = &PacketId> {
+        self.items.iter()
+    }
+
+    /// Packet at position `i` (0-based).
+    pub fn get(&self, i: usize) -> Option<&PacketId> {
+        self.items.get(i)
+    }
+
+    /// Position of `id`, if present.
+    pub fn index_of(&self, id: &PacketId) -> Option<usize> {
+        self.items.iter().position(|p| p == id)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: &PacketId) -> bool {
+        self.items.iter().any(|p| p == id)
+    }
+
+    /// `pkt_1 ∪ pkt_2`: every packet of either sequence, merged by
+    /// readiness index (see module docs), duplicates removed.
+    pub fn union(&self, other: &PacketSeq) -> PacketSeq {
+        let mine: HashSet<&PacketId> = self.items.iter().collect();
+        let mut merged: Vec<PacketId> = Vec::with_capacity(self.len() + other.len());
+        let mut a = self.items.iter().peekable();
+        let mut b = other.items.iter().filter(|p| !mine.contains(*p)).peekable();
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(x), Some(y)) => {
+                    if merge_key(x) <= merge_key(y) {
+                        merged.push((*x).clone());
+                        a.next();
+                    } else {
+                        merged.push((*y).clone());
+                        b.next();
+                    }
+                }
+                (Some(_), None) => {
+                    merged.extend(a.by_ref().cloned());
+                    break;
+                }
+                (None, Some(_)) => {
+                    merged.extend(b.by_ref().cloned());
+                    break;
+                }
+                (None, None) => break,
+            }
+        }
+        PacketSeq { items: merged }
+    }
+
+    /// `pkt_1 ∩ pkt_2`: packets present in both, in `self`'s order.
+    pub fn intersection(&self, other: &PacketSeq) -> PacketSeq {
+        let theirs: HashSet<&PacketId> = other.items.iter().collect();
+        PacketSeq {
+            items: self
+                .items
+                .iter()
+                .filter(|p| theirs.contains(*p))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Prefix `pkt⟨t]`: everything up to and including `t`.
+    /// Returns the whole sequence if `t` is absent.
+    pub fn prefix_through(&self, t: &PacketId) -> PacketSeq {
+        match self.index_of(t) {
+            Some(i) => PacketSeq {
+                items: self.items[..=i].to_vec(),
+            },
+            None => self.clone(),
+        }
+    }
+
+    /// Postfix `pkt[t⟩`: everything from `t` (inclusive) to the end.
+    /// Returns an empty sequence if `t` is absent.
+    pub fn postfix_from(&self, t: &PacketId) -> PacketSeq {
+        match self.index_of(t) {
+            Some(i) => PacketSeq {
+                items: self.items[i..].to_vec(),
+            },
+            None => PacketSeq::new(),
+        }
+    }
+
+    /// Postfix starting at position `i` (0-based); empty if out of range.
+    pub fn postfix_at(&self, i: usize) -> PacketSeq {
+        PacketSeq {
+            items: self.items.get(i..).unwrap_or(&[]).to_vec(),
+        }
+    }
+
+    /// Append a packet.
+    pub fn push(&mut self, id: PacketId) {
+        self.items.push(id);
+    }
+
+    /// Number of data (non-parity) packets.
+    pub fn data_count(&self) -> usize {
+        self.items.iter().filter(|p| p.is_data()).count()
+    }
+
+    /// Number of parity packets.
+    pub fn parity_count(&self) -> usize {
+        self.items.iter().filter(|p| p.is_parity()).count()
+    }
+}
+
+impl fmt::Display for PacketSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, p) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+impl FromIterator<PacketId> for PacketSeq {
+    fn from_iter<I: IntoIterator<Item = PacketId>>(iter: I) -> Self {
+        PacketSeq::from_ids(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a PacketSeq {
+    type Item = &'a PacketId;
+    type IntoIter = std::slice::Iter<'a, PacketId>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: u64) -> PacketId {
+        PacketId::Data(Seq(s))
+    }
+
+    fn par(seqs: &[u64]) -> PacketId {
+        PacketId::parity_of(&seqs.iter().map(|&s| d(s)).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn data_range_is_t1_to_tl() {
+        let s = PacketSeq::data_range(8);
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.get(0), Some(&d(1)));
+        assert_eq!(s.get(7), Some(&d(8)));
+        assert_eq!(s.to_string(), "⟨t1,t2,t3,t4,t5,t6,t7,t8⟩");
+    }
+
+    #[test]
+    fn union_example_from_paper_section_3_6() {
+        // CP_6 merges ⟨t5, t11⟩ (from CP_1) with ⟨t1, t⟨7,⟨9,11⟩,12⟩⟩
+        // (from CP_2) into pkt_6 = ⟨t1, t5, t11, t⟨7,9,11,12⟩⟩.
+        let from_cp1 = PacketSeq::from_ids(vec![d(5), d(11)]);
+        let nested = PacketId::parity_of(&[par(&[9, 11]), d(7), d(12)]).unwrap();
+        let from_cp2 = PacketSeq::from_ids(vec![d(1), nested.clone()]);
+        let merged = from_cp1.union(&from_cp2);
+        assert_eq!(
+            merged.ids(),
+            &[d(1), d(5), d(11), nested],
+            "merged = {merged}"
+        );
+    }
+
+    #[test]
+    fn union_removes_duplicates_and_covers_both() {
+        let a = PacketSeq::from_ids(vec![d(1), d(3), d(5)]);
+        let b = PacketSeq::from_ids(vec![d(2), d(3), d(6)]);
+        let u = a.union(&b);
+        assert_eq!(u.ids(), &[d(1), d(2), d(3), d(5), d(6)]);
+    }
+
+    #[test]
+    fn union_with_empty_is_identity() {
+        let a = PacketSeq::from_ids(vec![d(2), d(4)]);
+        assert_eq!(a.union(&PacketSeq::new()), a);
+        assert_eq!(PacketSeq::new().union(&a), a);
+    }
+
+    #[test]
+    fn union_is_commutative_on_sets() {
+        let a = PacketSeq::from_ids(vec![d(1), d(4), par(&[2, 3])]);
+        let b = PacketSeq::from_ids(vec![d(2), d(4)]);
+        let ab = a.union(&b);
+        let ba = b.union(&a);
+        let mut sa: Vec<_> = ab.ids().to_vec();
+        let mut sb: Vec<_> = ba.ids().to_vec();
+        sa.sort_by(|x, y| merge_key(x).cmp(&merge_key(y)));
+        sb.sort_by(|x, y| merge_key(x).cmp(&merge_key(y)));
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn intersection_keeps_common_in_self_order() {
+        let a = PacketSeq::from_ids(vec![d(5), d(1), d(3)]);
+        let b = PacketSeq::from_ids(vec![d(1), d(5), d(9)]);
+        assert_eq!(a.intersection(&b).ids(), &[d(5), d(1)]);
+        assert!(a.intersection(&PacketSeq::new()).is_empty());
+    }
+
+    #[test]
+    fn prefix_and_postfix() {
+        let s = PacketSeq::data_range(6);
+        assert_eq!(s.prefix_through(&d(3)).ids(), &[d(1), d(2), d(3)]);
+        assert_eq!(s.postfix_from(&d(4)).ids(), &[d(4), d(5), d(6)]);
+        // pkt⟨t] ∪ pkt[t⟩ covers pkt with t shared.
+        let pre = s.prefix_through(&d(3));
+        let post = s.postfix_from(&d(3));
+        assert_eq!(pre.union(&post), s);
+    }
+
+    #[test]
+    fn prefix_of_absent_packet_is_whole_sequence() {
+        let s = PacketSeq::data_range(3);
+        assert_eq!(s.prefix_through(&d(9)), s);
+        assert!(s.postfix_from(&d(9)).is_empty());
+    }
+
+    #[test]
+    fn postfix_at_positions() {
+        let s = PacketSeq::data_range(4);
+        assert_eq!(s.postfix_at(0), s);
+        assert_eq!(s.postfix_at(2).ids(), &[d(3), d(4)]);
+        assert!(s.postfix_at(4).is_empty());
+        assert!(s.postfix_at(99).is_empty());
+    }
+
+    #[test]
+    fn distinctness_is_detectable() {
+        assert!(PacketSeq::from_ids(vec![d(1), d(2)]).is_distinct());
+        assert!(!PacketSeq::from_ids(vec![d(1), d(1)]).is_distinct());
+    }
+
+    #[test]
+    fn union_of_self_dedups_repeats() {
+        let s = PacketSeq::from_ids(vec![d(1), d(1), d(2)]);
+        let u = s.union(&PacketSeq::new());
+        // Repeats within `self` survive union (self's order is preserved),
+        // but duplicates *across* operands are removed.
+        let v = PacketSeq::from_ids(vec![d(1), d(2)]).union(&s);
+        assert_eq!(v.ids(), &[d(1), d(2)]);
+        assert_eq!(u.ids(), s.ids());
+    }
+
+    #[test]
+    fn counts_split_data_and_parity() {
+        let s = PacketSeq::from_ids(vec![par(&[1, 2]), d(1), d(2), d(3)]);
+        assert_eq!(s.data_count(), 3);
+        assert_eq!(s.parity_count(), 1);
+    }
+}

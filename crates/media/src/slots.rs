@@ -1,0 +1,157 @@
+//! Heterogeneous time-slot packet allocation — paper §2.
+//!
+//! Transmission on channel `CC_i` is a sequence of time slots of length
+//! `τ_i ∝ 1/bw_i`. Packets `t_1, …, t_l` are assigned to slots in
+//! nondecreasing slot *end* time; among slots ending simultaneously, the
+//! one with the **latest start** wins (the paper's "initial slot with the
+//! greatest start time" rule). The resulting per-channel subsequences
+//! satisfy the **packet allocation property**: when the leaf receives
+//! `t_h`, every `t_k` with `k < h` has already finished transmission, so
+//! playout never has to reorder.
+//!
+//! Slot lengths are handled as exact rationals (`k / bw_i` scaled by a
+//! common numerator), so bandwidth ratios like 4:2:1 — or anything else —
+//! allocate without floating-point ties.
+
+/// Result of allocating `l` packets across channels.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlotAllocation {
+    /// `per_channel[i]` lists the (1-based) packet numbers channel `i`
+    /// transmits, in transmission order.
+    pub per_channel: Vec<Vec<u64>>,
+    /// `end_time[k-1]` is the (scaled, exact) time packet `t_k` finishes
+    /// transmitting: `slot_index / bw_i` scaled by `lcm`-free cross
+    /// arithmetic — comparable across packets.
+    pub end_num: Vec<u128>,
+    /// Common denominator info: `end_num[k] / scale` is the end time in
+    /// "time units" where a channel of bandwidth `b` takes `scale/b` per
+    /// packet.
+    pub scale: u128,
+}
+
+/// Allocate packets `t_1..t_l` to channels with the given positive
+/// bandwidths, per the paper's initial-slot algorithm.
+pub fn allocate(bandwidths: &[u64], l: u64) -> SlotAllocation {
+    assert!(!bandwidths.is_empty(), "no channels");
+    assert!(bandwidths.iter().all(|&b| b > 0), "zero-bandwidth channel");
+    let scale: u128 = bandwidths.iter().map(|&b| u128::from(b)).product();
+    // Slot k (0-based) of channel i: start = k*scale/bw_i, end = (k+1)*scale/bw_i.
+    let step: Vec<u128> = bandwidths.iter().map(|&b| scale / u128::from(b)).collect();
+    let mut next_slot: Vec<u128> = vec![0; bandwidths.len()]; // slots consumed per channel
+    let mut per_channel: Vec<Vec<u64>> = vec![Vec::new(); bandwidths.len()];
+    let mut end_num: Vec<u128> = Vec::with_capacity(l as usize);
+    for pkt in 1..=l {
+        // The initial slot of each channel is its next unused slot; pick
+        // minimal end time, tie-break on maximal start time, then lowest
+        // channel index for determinism.
+        let mut best: Option<(u128, u128, usize)> = None; // (end, start, idx)
+        for (i, &s) in step.iter().enumerate() {
+            let start = next_slot[i] * s;
+            let end = start + s;
+            let better = match best {
+                None => true,
+                Some((be, bs, _)) => end < be || (end == be && start > bs),
+            };
+            if better {
+                best = Some((end, start, i));
+            }
+        }
+        let (end, _, i) = best.expect("nonempty channels");
+        next_slot[i] += 1;
+        per_channel[i].push(pkt);
+        end_num.push(end);
+    }
+    SlotAllocation {
+        per_channel,
+        end_num,
+        scale,
+    }
+}
+
+impl SlotAllocation {
+    /// Check the packet allocation property: packet end times are
+    /// nondecreasing in packet number (receiving `t_h` implies every
+    /// earlier packet has finished transmission).
+    pub fn allocation_property_holds(&self) -> bool {
+        self.end_num.windows(2).all(|w| w[0] <= w[1])
+    }
+
+    /// Number of packets assigned to channel `i`.
+    pub fn channel_load(&self, i: usize) -> usize {
+        self.per_channel[i].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_figure_1_example() {
+        // bw 4:2:1 over t1..t7 → CP1 sends t1,t2,t4,t5; CP2 sends t3,t6;
+        // CP3 sends t7 (paper Figures 1–3).
+        let a = allocate(&[4, 2, 1], 7);
+        assert_eq!(a.per_channel[0], vec![1, 2, 4, 5]);
+        assert_eq!(a.per_channel[1], vec![3, 6]);
+        assert_eq!(a.per_channel[2], vec![7]);
+    }
+
+    #[test]
+    fn loads_are_proportional_to_bandwidth() {
+        let a = allocate(&[4, 2, 1], 7000);
+        let l0 = a.channel_load(0) as f64;
+        let l1 = a.channel_load(1) as f64;
+        let l2 = a.channel_load(2) as f64;
+        assert!((l0 / l1 - 2.0).abs() < 0.01, "{l0}/{l1}");
+        assert!((l1 / l2 - 2.0).abs() < 0.01, "{l1}/{l2}");
+    }
+
+    #[test]
+    fn allocation_property_holds_for_figure_example() {
+        let a = allocate(&[4, 2, 1], 100);
+        assert!(a.allocation_property_holds());
+    }
+
+    #[test]
+    fn allocation_property_holds_for_awkward_ratios() {
+        for bws in [
+            vec![3u64, 7, 11],
+            vec![1, 1, 1, 1],
+            vec![100, 1],
+            vec![5],
+            vec![9, 9, 2, 13, 1],
+        ] {
+            let a = allocate(&bws, 500);
+            assert!(a.allocation_property_holds(), "bws={bws:?}");
+            let total: usize = (0..bws.len()).map(|i| a.channel_load(i)).sum();
+            assert_eq!(total, 500);
+        }
+    }
+
+    #[test]
+    fn single_channel_gets_everything_in_order() {
+        let a = allocate(&[10], 5);
+        assert_eq!(a.per_channel[0], vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn equal_bandwidths_round_robin() {
+        // With equal τ and the latest-start tie-break, channels take turns.
+        let a = allocate(&[2, 2], 6);
+        assert_eq!(a.per_channel[0], vec![1, 3, 5]);
+        assert_eq!(a.per_channel[1], vec![2, 4, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-bandwidth")]
+    fn rejects_zero_bandwidth() {
+        let _ = allocate(&[4, 0], 3);
+    }
+
+    #[test]
+    fn zero_packets_is_fine() {
+        let a = allocate(&[1, 2], 0);
+        assert!(a.per_channel.iter().all(|c| c.is_empty()));
+        assert!(a.allocation_property_holds());
+    }
+}

@@ -1,0 +1,197 @@
+//! Property-based tests for the media substrate: parity coding, the
+//! sequence algebra, and slot allocation hold their invariants for
+//! arbitrary inputs, not just the paper's examples.
+
+use proptest::prelude::*;
+
+use mss_media::parity::{div_all, esq, esq_opts, Decoder};
+use mss_media::slots::allocate;
+use mss_media::{ContentDesc, PacketId, PacketSeq, Seq};
+
+fn payload_of(content: &ContentDesc, id: &PacketId) -> Vec<u8> {
+    content.materialize(id).payload.to_vec()
+}
+
+proptest! {
+    /// Any single loss per recovery segment is recoverable: delete one
+    /// arbitrary packet from every segment of an enhanced stream and the
+    /// decoder still reconstructs all data.
+    #[test]
+    fn single_loss_per_segment_recovers(
+        l in 1u64..120,
+        h in 1usize..8,
+        seed in 0u64..1000,
+        drop_choice in 0usize..64,
+    ) {
+        let content = ContentDesc::small(seed, l);
+        let enhanced = esq(&PacketSeq::data_range(l), h);
+        // Group positions into segments of h+1 consecutive packets
+        // (data segment + its parity, in rotation), dropping position
+        // `drop_choice mod (h+1)` of each.
+        let mut dec = Decoder::new();
+        for (i, id) in enhanced.iter().enumerate() {
+            if i % (h + 1) == drop_choice % (h + 1) {
+                continue;
+            }
+            dec.insert(id, &payload_of(&content, id));
+        }
+        prop_assert!(dec.missing(l).is_empty(),
+            "l={l} h={h}: missing {:?}", dec.missing(l));
+        for s in 1..=l {
+            let expect = payload_of(&content, &PacketId::Data(Seq(s)));
+            prop_assert_eq!(dec.payload(Seq(s)).unwrap().as_ref(), expect.as_slice());
+        }
+        prop_assert_eq!(dec.inconsistencies(), 0);
+    }
+
+    /// The decoder never invents data: with an entire segment missing,
+    /// exactly that segment's packets stay unknown.
+    #[test]
+    fn whole_segment_loss_is_not_recoverable(
+        segs in 2usize..10,
+        h in 2usize..6,
+        victim in 0usize..10,
+        seed in 0u64..100,
+    ) {
+        let l = (segs * h) as u64;
+        let victim = victim % segs;
+        let content = ContentDesc::small(seed, l);
+        let enhanced = esq(&PacketSeq::data_range(l), h);
+        let victim_data: Vec<u64> =
+            ((victim * h + 1) as u64..=((victim + 1) * h) as u64).collect();
+        let mut dec = Decoder::new();
+        for id in enhanced.iter() {
+            // Drop every packet touching the victim segment.
+            if id.coverage_slice().iter().any(|s| victim_data.contains(&s.0)) {
+                continue;
+            }
+            dec.insert(id, &payload_of(&content, id));
+        }
+        let missing: Vec<u64> = dec.missing(l).iter().map(|s| s.0).collect();
+        prop_assert_eq!(missing, victim_data);
+    }
+
+    /// `Div` partitions: every position of the enhanced sequence lands in
+    /// exactly one share, order preserved within shares.
+    #[test]
+    fn div_is_a_partition(l in 1u64..200, h in 1usize..6, parts in 1usize..12) {
+        let enhanced = esq(&PacketSeq::data_range(l), h);
+        let shares = div_all(&enhanced, parts);
+        let total: usize = shares.iter().map(|s| s.len()).sum();
+        prop_assert_eq!(total, enhanced.len());
+        // Round-robin reassembly reproduces the enhanced sequence.
+        let mut idx = vec![0usize; parts];
+        for (j, expect) in enhanced.iter().enumerate() {
+            let p = j % parts;
+            prop_assert_eq!(shares[p].ids()[idx[p]].clone(), expect.clone());
+            idx[p] += 1;
+        }
+    }
+
+    /// `|[pkt]^h| = |pkt|(h+1)/h` exactly when `h` divides `|pkt|` and
+    /// tail parity is off — the paper's length formula.
+    #[test]
+    fn esq_length_formula_exact(k in 1u64..40, h in 1usize..8) {
+        let l = k * h as u64;
+        let e = esq_opts(&PacketSeq::data_range(l), h, false);
+        prop_assert_eq!(e.len() as u64, l * (h as u64 + 1) / h as u64);
+    }
+
+    /// Union is idempotent, commutative (as a set), and bounded by the
+    /// sum of the lengths.
+    #[test]
+    fn union_set_laws(
+        xs in proptest::collection::vec(1u64..60, 0..30),
+        ys in proptest::collection::vec(1u64..60, 0..30),
+    ) {
+        let dedup = |v: &[u64]| {
+            let mut seen = std::collections::HashSet::new();
+            PacketSeq::from_ids(
+                v.iter()
+                    .filter(|s| seen.insert(**s))
+                    .map(|&s| PacketId::Data(Seq(s)))
+                    .collect(),
+            )
+        };
+        let a = dedup(&xs);
+        let b = dedup(&ys);
+        let ab = a.union(&b);
+        let ba = b.union(&a);
+        prop_assert_eq!(ab.union(&a).len(), ab.len(), "idempotent");
+        prop_assert_eq!(ab.len(), ba.len(), "commutative cardinality");
+        prop_assert!(ab.len() <= a.len() + b.len());
+        for id in a.iter() {
+            prop_assert!(ab.contains(id));
+        }
+        for id in b.iter() {
+            prop_assert!(ab.contains(id));
+        }
+    }
+
+    /// Prefix and postfix at the same packet cover the sequence with
+    /// exactly one shared element.
+    #[test]
+    fn prefix_postfix_cover(l in 1u64..100, at in 1u64..100) {
+        let at = (at % l) + 1;
+        let s = PacketSeq::data_range(l);
+        let t = PacketId::Data(Seq(at));
+        let pre = s.prefix_through(&t);
+        let post = s.postfix_from(&t);
+        prop_assert_eq!(pre.len() + post.len(), l as usize + 1);
+        prop_assert_eq!(pre.union(&post), s);
+    }
+
+    /// The §2 slot allocation preserves the packet allocation property
+    /// and proportional loads for arbitrary bandwidth vectors.
+    #[test]
+    fn slot_allocation_properties(
+        bws in proptest::collection::vec(1u64..50, 1..8),
+        l in 0u64..400,
+    ) {
+        let a = allocate(&bws, l);
+        prop_assert!(a.allocation_property_holds());
+        let total: usize = (0..bws.len()).map(|i| a.channel_load(i)).sum();
+        prop_assert_eq!(total as u64, l);
+        // Within each channel, packets are in increasing order.
+        for ch in &a.per_channel {
+            prop_assert!(ch.windows(2).all(|w| w[0] < w[1]));
+        }
+        // Loads track bandwidth shares to within one slot round-off per
+        // channel (loose bound, exact proportionality needs l → ∞).
+        if l >= 100 {
+            let bw_total: u64 = bws.iter().sum();
+            for (i, &bw) in bws.iter().enumerate() {
+                let want = l as f64 * bw as f64 / bw_total as f64;
+                let got = a.channel_load(i) as f64;
+                prop_assert!((got - want).abs() <= want * 0.5 + 2.0,
+                    "channel {i}: got {got}, want {want}");
+            }
+        }
+    }
+
+    /// Arbitrary subsets of an enhanced stream never make the decoder
+    /// inconsistent, and everything it reports known is byte-correct.
+    #[test]
+    fn decoder_is_sound_under_arbitrary_loss(
+        l in 1u64..80,
+        h in 1usize..6,
+        seed in 0u64..500,
+        keep_mask in proptest::collection::vec(any::<bool>(), 200),
+    ) {
+        let content = ContentDesc::small(seed, l);
+        let enhanced = esq(&PacketSeq::data_range(l), h);
+        let mut dec = Decoder::new();
+        for (i, id) in enhanced.iter().enumerate() {
+            if *keep_mask.get(i % keep_mask.len()).unwrap_or(&true) {
+                dec.insert(id, &payload_of(&content, id));
+            }
+        }
+        prop_assert_eq!(dec.inconsistencies(), 0);
+        for s in 1..=l {
+            let expect = payload_of(&content, &PacketId::Data(Seq(s)));
+            if let Some(p) = dec.payload(Seq(s)) {
+                prop_assert_eq!(p.as_ref(), expect.as_slice());
+            }
+        }
+    }
+}

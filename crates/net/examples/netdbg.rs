@@ -1,0 +1,22 @@
+use mss_core::prelude::*;
+use mss_net::bus::ThreadedSession;
+use std::time::Duration;
+
+fn main() {
+    let mut cfg = SessionConfig::small(6, 2, 77);
+    cfg.content = ContentDesc::small(5, 60);
+    let out = ThreadedSession::new(cfg, Protocol::Dcop, Duration::from_millis(1500)).run();
+    println!(
+        "activated={} complete={} missing={}",
+        out.activated, out.complete, out.missing
+    );
+    for (k, v) in out.metrics.counters() {
+        println!("  {k} = {v}");
+    }
+    for r in &out.reports {
+        println!(
+            "  {:?} active={} sent={} sched={} iv={}",
+            r.me, r.active, r.sent, r.sched_len, r.interval_nanos
+        );
+    }
+}

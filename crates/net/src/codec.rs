@@ -1,0 +1,660 @@
+//! Binary wire codec for session messages.
+//!
+//! A hand-rolled, length-checked little-endian format on top of `bytes`
+//! (no external serializer). Every frame is `[from: u32][kind: u8][body]`.
+//! Schedules are carried explicitly in this demo codec (a production
+//! format would ship the derivation recipe; see `mss_core::msg` docs).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use mss_core::msg::{
+    ContentRequest, ControlKind, ControlPacket, DataMsg, Msg, Nack, ProbeReply, ScheduleAssignment,
+    TwoPhase,
+};
+use mss_media::{Packet, PacketId, PacketSeq, Seq};
+use mss_overlay::{PeerId, View};
+use mss_sim::event::ActorId;
+use std::sync::Arc;
+
+/// Decoding failure.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// Frame ended before the structure was complete.
+    Truncated,
+    /// Unknown discriminant byte.
+    BadTag(u8),
+    /// A length field exceeded sanity bounds.
+    BadLength(u64),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "truncated frame"),
+            CodecError::BadTag(t) => write!(f, "unknown tag {t}"),
+            CodecError::BadLength(l) => write!(f, "implausible length {l}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+const MAX_LEN: u64 = 16 * 1024 * 1024;
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), CodecError> {
+    if buf.remaining() < n {
+        Err(CodecError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn get_len(buf: &mut impl Buf) -> Result<usize, CodecError> {
+    need(buf, 4)?;
+    let l = u64::from(buf.get_u32_le());
+    if l > MAX_LEN {
+        return Err(CodecError::BadLength(l));
+    }
+    Ok(l as usize)
+}
+
+fn put_view(out: &mut BytesMut, v: &View) {
+    out.put_u32_le(v.population() as u32);
+    let mut byte = 0u8;
+    let mut nbits = 0;
+    for i in 0..v.population() {
+        if v.contains(PeerId(i as u32)) {
+            byte |= 1 << nbits;
+        }
+        nbits += 1;
+        if nbits == 8 {
+            out.put_u8(byte);
+            byte = 0;
+            nbits = 0;
+        }
+    }
+    if nbits > 0 {
+        out.put_u8(byte);
+    }
+}
+
+fn get_view(buf: &mut impl Buf) -> Result<View, CodecError> {
+    need(buf, 4)?;
+    let n = buf.get_u32_le() as usize;
+    if n as u64 > 1_000_000 {
+        return Err(CodecError::BadLength(n as u64));
+    }
+    let nbytes = n.div_ceil(8);
+    need(buf, nbytes)?;
+    let mut v = View::empty(n);
+    for byte_idx in 0..nbytes {
+        let b = buf.get_u8();
+        for bit in 0..8 {
+            let i = byte_idx * 8 + bit;
+            if i < n && b & (1 << bit) != 0 {
+                v.insert(PeerId(i as u32));
+            }
+        }
+    }
+    Ok(v)
+}
+
+fn put_packet_id(out: &mut BytesMut, id: &PacketId) {
+    match id {
+        PacketId::Data(s) => {
+            out.put_u8(0);
+            out.put_u64_le(s.0);
+        }
+        PacketId::Parity(c) => {
+            out.put_u8(1);
+            out.put_u32_le(c.len() as u32);
+            for s in c.iter() {
+                out.put_u64_le(s.0);
+            }
+        }
+        PacketId::RsParity { seqs, row } => {
+            out.put_u8(2);
+            out.put_u8(*row);
+            out.put_u32_le(seqs.len() as u32);
+            for s in seqs.iter() {
+                out.put_u64_le(s.0);
+            }
+        }
+    }
+}
+
+fn get_packet_id(buf: &mut impl Buf) -> Result<PacketId, CodecError> {
+    need(buf, 1)?;
+    match buf.get_u8() {
+        0 => {
+            need(buf, 8)?;
+            Ok(PacketId::Data(Seq(buf.get_u64_le())))
+        }
+        1 => {
+            let len = get_len(buf)?;
+            need(buf, len * 8)?;
+            let cover: Vec<Seq> = (0..len).map(|_| Seq(buf.get_u64_le())).collect();
+            Ok(PacketId::Parity(cover.into_boxed_slice()))
+        }
+        2 => {
+            need(buf, 1)?;
+            let row = buf.get_u8();
+            let len = get_len(buf)?;
+            need(buf, len * 8)?;
+            let seqs: Vec<Seq> = (0..len).map(|_| Seq(buf.get_u64_le())).collect();
+            Ok(PacketId::RsParity {
+                seqs: seqs.into_boxed_slice(),
+                row,
+            })
+        }
+        t => Err(CodecError::BadTag(t)),
+    }
+}
+
+fn put_seq(out: &mut BytesMut, seq: &PacketSeq) {
+    out.put_u32_le(seq.len() as u32);
+    for id in seq.ids() {
+        put_packet_id(out, id);
+    }
+}
+
+fn get_seq(buf: &mut impl Buf) -> Result<PacketSeq, CodecError> {
+    let len = get_len(buf)?;
+    let mut ids = Vec::with_capacity(len.min(65536));
+    for _ in 0..len {
+        ids.push(get_packet_id(buf)?);
+    }
+    Ok(PacketSeq::from_ids(ids))
+}
+
+fn put_control(out: &mut BytesMut, c: &ControlPacket) {
+    out.put_u8(match c.kind {
+        ControlKind::Activate => 0,
+        ControlKind::Probe => 1,
+        ControlKind::Commit => 2,
+        ControlKind::Announce => 3,
+    });
+    out.put_u32_le(c.from.0);
+    out.put_u32_le(c.wave);
+    put_view(out, &c.view);
+    put_seq(out, &c.sched);
+    out.put_u32_le(c.pos);
+    out.put_u64_le(c.interval_nanos);
+    out.put_u64_le(c.mark_delta_nanos);
+    out.put_u32_le(c.part);
+    out.put_u32_le(c.parts);
+    out.put_u32_le(c.h);
+    out.put_u32_le(c.fanout);
+}
+
+fn get_control(buf: &mut impl Buf) -> Result<ControlPacket, CodecError> {
+    need(buf, 9)?;
+    let kind = match buf.get_u8() {
+        0 => ControlKind::Activate,
+        1 => ControlKind::Probe,
+        2 => ControlKind::Commit,
+        3 => ControlKind::Announce,
+        t => return Err(CodecError::BadTag(t)),
+    };
+    let from = PeerId(buf.get_u32_le());
+    let wave = buf.get_u32_le();
+    let view = get_view(buf)?;
+    let sched = Arc::new(get_seq(buf)?);
+    need(buf, 4 + 8 + 8 + 16)?;
+    Ok(ControlPacket {
+        kind,
+        from,
+        wave,
+        view,
+        sched,
+        pos: buf.get_u32_le(),
+        interval_nanos: buf.get_u64_le(),
+        mark_delta_nanos: buf.get_u64_le(),
+        part: buf.get_u32_le(),
+        parts: buf.get_u32_le(),
+        h: buf.get_u32_le(),
+        fanout: buf.get_u32_le(),
+    })
+}
+
+/// Encode a frame: sender actor id plus message.
+pub fn encode(from: ActorId, msg: &Msg) -> Bytes {
+    let mut out = BytesMut::with_capacity(64);
+    out.put_u32_le(from.0);
+    match msg {
+        Msg::Request(r) => {
+            out.put_u8(0);
+            out.put_u32_le(r.wave);
+            out.put_u64_le(r.interval_nanos);
+            out.put_u32_le(r.h);
+            out.put_u32_le(r.fanout);
+            out.put_u32_le(r.part);
+            out.put_u32_le(r.parts);
+            match &r.view {
+                Some(v) => {
+                    out.put_u8(1);
+                    put_view(&mut out, v);
+                }
+                None => out.put_u8(0),
+            }
+            match &r.weights {
+                Some(w) => {
+                    out.put_u8(1);
+                    out.put_u32_le(w.len() as u32);
+                    for x in w {
+                        out.put_u64_le(*x);
+                    }
+                }
+                None => out.put_u8(0),
+            }
+        }
+        Msg::Control(c) => {
+            out.put_u8(1);
+            put_control(&mut out, c);
+        }
+        Msg::Reply(r) => {
+            out.put_u8(2);
+            out.put_u32_le(r.from.0);
+            out.put_u8(u8::from(r.accept));
+            out.put_u32_le(r.wave);
+        }
+        Msg::Data(d) => {
+            out.put_u8(3);
+            out.put_u32_le(d.from.0);
+            put_packet_id(&mut out, &d.packet.id);
+            out.put_u32_le(d.packet.payload.len() as u32);
+            out.put_slice(&d.packet.payload);
+        }
+        Msg::TwoPhase(tp) => {
+            out.put_u8(4);
+            match tp {
+                TwoPhase::Prepare {
+                    part,
+                    parts,
+                    h,
+                    interval_nanos,
+                } => {
+                    out.put_u8(0);
+                    out.put_u32_le(*part);
+                    out.put_u32_le(*parts);
+                    out.put_u32_le(*h);
+                    out.put_u64_le(*interval_nanos);
+                }
+                TwoPhase::Vote { from, ok } => {
+                    out.put_u8(1);
+                    out.put_u32_le(from.0);
+                    out.put_u8(u8::from(*ok));
+                }
+                TwoPhase::Decision { commit } => {
+                    out.put_u8(2);
+                    out.put_u8(u8::from(*commit));
+                }
+            }
+        }
+        Msg::Assign(a) => {
+            out.put_u8(5);
+            out.put_u32_le(a.part);
+            out.put_u32_le(a.parts);
+            out.put_u32_le(a.h);
+            out.put_u64_le(a.interval_nanos);
+            put_seq(&mut out, &a.sched);
+        }
+        Msg::Nack(n) => {
+            out.put_u8(6);
+            out.put_u32_le(n.seqs.len() as u32);
+            for s in &n.seqs {
+                out.put_u64_le(s.0);
+            }
+        }
+    }
+    out.freeze()
+}
+
+/// Decode a frame produced by [`encode`].
+pub fn decode(frame: &[u8]) -> Result<(ActorId, Msg), CodecError> {
+    let mut buf = frame;
+    need(&buf, 5)?;
+    let from = ActorId(buf.get_u32_le());
+    let msg = match buf.get_u8() {
+        0 => {
+            need(&buf, 4 + 8 + 16 + 1)?;
+            let wave = buf.get_u32_le();
+            let interval_nanos = buf.get_u64_le();
+            let h = buf.get_u32_le();
+            let fanout = buf.get_u32_le();
+            let part = buf.get_u32_le();
+            let parts = buf.get_u32_le();
+            need(&buf, 1)?;
+            let view = if buf.get_u8() == 1 {
+                Some(get_view(&mut buf)?)
+            } else {
+                None
+            };
+            need(&buf, 1)?;
+            let weights = if buf.get_u8() == 1 {
+                let len = get_len(&mut buf)?;
+                need(&buf, len * 8)?;
+                Some((0..len).map(|_| buf.get_u64_le()).collect())
+            } else {
+                None
+            };
+            Msg::Request(ContentRequest {
+                wave,
+                interval_nanos,
+                h,
+                fanout,
+                part,
+                parts,
+                view,
+                weights,
+            })
+        }
+        1 => Msg::Control(get_control(&mut buf)?),
+        2 => {
+            need(&buf, 9)?;
+            Msg::Reply(ProbeReply {
+                from: PeerId(buf.get_u32_le()),
+                accept: buf.get_u8() == 1,
+                wave: buf.get_u32_le(),
+            })
+        }
+        3 => {
+            need(&buf, 4)?;
+            let from_peer = PeerId(buf.get_u32_le());
+            let id = get_packet_id(&mut buf)?;
+            let len = get_len(&mut buf)?;
+            need(&buf, len)?;
+            let payload = Bytes::copy_from_slice(&buf.chunk()[..len]);
+            buf.advance(len);
+            Msg::Data(DataMsg {
+                from: from_peer,
+                packet: Packet { id, payload },
+            })
+        }
+        4 => {
+            need(&buf, 1)?;
+            match buf.get_u8() {
+                0 => {
+                    need(&buf, 12 + 8)?;
+                    Msg::TwoPhase(TwoPhase::Prepare {
+                        part: buf.get_u32_le(),
+                        parts: buf.get_u32_le(),
+                        h: buf.get_u32_le(),
+                        interval_nanos: buf.get_u64_le(),
+                    })
+                }
+                1 => {
+                    need(&buf, 5)?;
+                    Msg::TwoPhase(TwoPhase::Vote {
+                        from: PeerId(buf.get_u32_le()),
+                        ok: buf.get_u8() == 1,
+                    })
+                }
+                2 => {
+                    need(&buf, 1)?;
+                    Msg::TwoPhase(TwoPhase::Decision {
+                        commit: buf.get_u8() == 1,
+                    })
+                }
+                t => return Err(CodecError::BadTag(t)),
+            }
+        }
+        5 => {
+            need(&buf, 12 + 8)?;
+            let part = buf.get_u32_le();
+            let parts = buf.get_u32_le();
+            let h = buf.get_u32_le();
+            let interval_nanos = buf.get_u64_le();
+            let sched = get_seq(&mut buf)?;
+            Msg::Assign(ScheduleAssignment {
+                part,
+                parts,
+                h,
+                interval_nanos,
+                sched,
+            })
+        }
+        6 => {
+            let len = get_len(&mut buf)?;
+            need(&buf, len * 8)?;
+            Msg::Nack(Nack {
+                seqs: (0..len).map(|_| Seq(buf.get_u64_le())).collect(),
+            })
+        }
+        t => return Err(CodecError::BadTag(t)),
+    };
+    Ok((from, msg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mss_media::ContentDesc;
+
+    fn view_of(n: usize, members: &[u32]) -> View {
+        let mut v = View::empty(n);
+        for &m in members {
+            v.insert(PeerId(m));
+        }
+        v
+    }
+
+    fn roundtrip(msg: Msg) -> Msg {
+        let frame = encode(ActorId(7), &msg);
+        let (from, back) = decode(&frame).expect("decode");
+        assert_eq!(from, ActorId(7));
+        back
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let msg = Msg::Request(ContentRequest {
+            wave: 1,
+            interval_nanos: 512_000,
+            h: 3,
+            fanout: 4,
+            part: 2,
+            parts: 4,
+            view: Some(view_of(10, &[0, 3, 9])),
+            weights: Some(vec![4, 2, 1, 9]),
+        });
+        match roundtrip(msg) {
+            Msg::Request(r) => {
+                assert_eq!(r.interval_nanos, 512_000);
+                assert_eq!(r.part, 2);
+                let v = r.view.unwrap();
+                assert!(v.contains(PeerId(9)) && !v.contains(PeerId(1)));
+                assert_eq!(v.count(), 3);
+                assert_eq!(r.weights.unwrap(), vec![4, 2, 1, 9]);
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn request_without_view_roundtrip() {
+        let msg = Msg::Request(ContentRequest {
+            wave: 1,
+            interval_nanos: 1,
+            h: 1,
+            fanout: 1,
+            part: 0,
+            parts: 1,
+            view: None,
+            weights: None,
+        });
+        match roundtrip(msg) {
+            Msg::Request(r) => {
+                assert!(r.view.is_none());
+                assert!(r.weights.is_none());
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_roundtrip_with_parity_schedule() {
+        let sched = mss_media::parity::esq(&PacketSeq::data_range(10), 2);
+        let msg = Msg::Control(ControlPacket {
+            kind: ControlKind::Commit,
+            from: PeerId(5),
+            wave: 3,
+            view: view_of(70, &[64, 69]),
+            sched: Arc::new(sched.clone()),
+            pos: 4,
+            interval_nanos: 99,
+            mark_delta_nanos: 123,
+            part: 1,
+            parts: 3,
+            h: 2,
+            fanout: 3,
+        });
+        match roundtrip(msg) {
+            Msg::Control(c) => {
+                assert_eq!(c.kind, ControlKind::Commit);
+                assert_eq!(c.sched.as_ref(), &sched);
+                assert_eq!(c.mark_delta_nanos, 123);
+                assert_eq!(c.view.count(), 2);
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn data_roundtrip_bit_exact() {
+        let content = ContentDesc::small(9, 20);
+        let id = PacketId::parity_of(&[PacketId::Data(Seq(3)), PacketId::Data(Seq(4))]).unwrap();
+        let pkt = content.materialize(&id);
+        let msg = Msg::Data(DataMsg {
+            from: PeerId(2),
+            packet: pkt.clone(),
+        });
+        match roundtrip(msg) {
+            Msg::Data(d) => {
+                assert_eq!(d.packet, pkt);
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_phase_roundtrips() {
+        for tp in [
+            TwoPhase::Prepare {
+                part: 1,
+                parts: 9,
+                h: 8,
+                interval_nanos: 77,
+            },
+            TwoPhase::Vote {
+                from: PeerId(4),
+                ok: true,
+            },
+            TwoPhase::Decision { commit: false },
+        ] {
+            let msg = Msg::TwoPhase(tp.clone());
+            match (roundtrip(msg), tp) {
+                (
+                    Msg::TwoPhase(TwoPhase::Prepare { part, .. }),
+                    TwoPhase::Prepare { part: p2, .. },
+                ) => {
+                    assert_eq!(part, p2)
+                }
+                (
+                    Msg::TwoPhase(TwoPhase::Vote { from, ok }),
+                    TwoPhase::Vote { from: f2, ok: o2 },
+                ) => {
+                    assert_eq!((from, ok), (f2, o2))
+                }
+                (
+                    Msg::TwoPhase(TwoPhase::Decision { commit }),
+                    TwoPhase::Decision { commit: c2 },
+                ) => assert_eq!(commit, c2),
+                (a, b) => panic!("variant mismatch {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn assign_roundtrip() {
+        let msg = Msg::Assign(ScheduleAssignment {
+            part: 3,
+            parts: 10,
+            h: 9,
+            interval_nanos: 1000,
+            sched: PacketSeq::data_range(5),
+        });
+        match roundtrip(msg) {
+            Msg::Assign(a) => {
+                assert_eq!(a.sched, PacketSeq::data_range(5));
+                assert_eq!(a.parts, 10);
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reply_roundtrip() {
+        let msg = Msg::Reply(ProbeReply {
+            from: PeerId(11),
+            accept: false,
+            wave: 2,
+        });
+        match roundtrip(msg) {
+            Msg::Reply(r) => {
+                assert_eq!(r.from, PeerId(11));
+                assert!(!r.accept);
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rs_parity_packet_roundtrip() {
+        let content = ContentDesc::small(11, 20);
+        let id = PacketId::RsParity {
+            seqs: vec![Seq(5), Seq(6), Seq(7)].into_boxed_slice(),
+            row: 2,
+        };
+        let pkt = content.materialize(&id);
+        let msg = Msg::Data(DataMsg {
+            from: PeerId(1),
+            packet: pkt.clone(),
+        });
+        match roundtrip(msg) {
+            Msg::Data(d) => assert_eq!(d.packet, pkt),
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nack_roundtrip() {
+        let msg = Msg::Nack(Nack {
+            seqs: vec![Seq(3), Seq(99), Seq(100_000)],
+        });
+        match roundtrip(msg) {
+            Msg::Nack(n) => assert_eq!(n.seqs, vec![Seq(3), Seq(99), Seq(100_000)]),
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_and_garbage_frames_error() {
+        let frame = encode(
+            ActorId(0),
+            &Msg::Reply(ProbeReply {
+                from: PeerId(1),
+                accept: true,
+                wave: 1,
+            }),
+        );
+        assert_eq!(decode(&frame[..3]).unwrap_err(), CodecError::Truncated);
+        assert_eq!(
+            decode(&frame[..frame.len() - 1]).unwrap_err(),
+            CodecError::Truncated
+        );
+        let mut garbage = frame.to_vec();
+        garbage[4] = 99;
+        assert_eq!(decode(&garbage).unwrap_err(), CodecError::BadTag(99));
+        assert_eq!(decode(&[]).unwrap_err(), CodecError::Truncated);
+    }
+}

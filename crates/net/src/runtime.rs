@@ -1,0 +1,211 @@
+//! Hosting protocol actors on real threads and real clocks.
+//!
+//! The simulator runs actors against virtual time; here each actor gets
+//! its own OS thread, a wall clock, a timer wheel, and a [`Transport`]
+//! (in-process channels or UDP). [`NetRuntime`] implements the same
+//! [`Runtime`] trait the simulator's context implements, so the protocol
+//! state machines from `mss-core` run **unchanged**.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use mss_core::msg::Msg;
+use mss_sim::event::{ActorId, TimerId};
+use mss_sim::metrics::{self, Metrics};
+use mss_sim::rng::SimRng;
+use mss_sim::time::{SimDuration, SimTime};
+use mss_sim::world::{Actor, Runtime, SimMessage};
+
+/// How an actor thread exchanges messages with the rest of the session.
+pub trait Transport {
+    /// Deliver `msg` to `to` (best effort; live transports may drop).
+    fn send(&mut self, to: ActorId, msg: Msg);
+    /// Wait up to `timeout` for one inbound message.
+    fn recv_timeout(&mut self, timeout: Duration) -> Option<(ActorId, Msg)>;
+}
+
+/// Pending timers for one hosted actor.
+#[derive(Default)]
+struct TimerWheel {
+    // (deadline_nanos, id, tag); linear scan is fine at protocol scale.
+    pending: Vec<(u64, u64, u64)>,
+    cancelled: HashSet<u64>,
+    next_id: u64,
+}
+
+impl TimerWheel {
+    fn arm(&mut self, deadline: u64, tag: u64) -> TimerId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.pending.push((deadline, id, tag));
+        TimerId(id)
+    }
+
+    fn cancel(&mut self, t: TimerId) {
+        self.cancelled.insert(t.0);
+    }
+
+    fn next_deadline(&self) -> Option<u64> {
+        self.pending
+            .iter()
+            .filter(|(_, id, _)| !self.cancelled.contains(id))
+            .map(|(d, _, _)| *d)
+            .min()
+    }
+
+    fn pop_due(&mut self, now: u64) -> Option<(TimerId, u64)> {
+        let idx = self
+            .pending
+            .iter()
+            .position(|(d, id, _)| *d <= now && !self.cancelled.contains(id))?;
+        let (_, id, tag) = self.pending.swap_remove(idx);
+        Some((TimerId(id), tag))
+    }
+}
+
+/// The live implementation of [`Runtime`].
+pub struct NetRuntime<'a, T: Transport> {
+    me: ActorId,
+    epoch: Instant,
+    n_actors: usize,
+    transport: &'a mut T,
+    wheel: &'a mut TimerWheel,
+    rng: &'a mut SimRng,
+    metrics: &'a mut Metrics,
+}
+
+impl<'a, T: Transport> Runtime<Msg> for NetRuntime<'a, T> {
+    fn id(&self) -> ActorId {
+        self.me
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime(self.epoch.elapsed().as_nanos() as u64)
+    }
+
+    fn actor_count(&self) -> usize {
+        self.n_actors
+    }
+
+    fn is_alive(&self, _actor: ActorId) -> bool {
+        true // a live runtime has no failure oracle
+    }
+
+    fn send(&mut self, to: ActorId, msg: Msg) {
+        self.metrics.incr(metrics::NET_SENT);
+        self.metrics
+            .add(metrics::NET_BYTES_SENT, msg.wire_size() as u64);
+        self.transport.send(to, msg);
+    }
+
+    fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
+        let deadline = self.now().as_nanos().saturating_add(delay.as_nanos());
+        self.wheel.arm(deadline, tag)
+    }
+
+    fn cancel_timer(&mut self, timer: TimerId) {
+        self.wheel.cancel(timer);
+    }
+
+    fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    fn metrics(&mut self) -> &mut Metrics {
+        self.metrics
+    }
+}
+
+/// Result of hosting one actor until shutdown.
+pub struct HostReport {
+    /// The actor, with its final state (downcast with
+    /// `mss_core::session::report_of` or `as_any`).
+    pub actor: Box<dyn Actor<Msg>>,
+    /// Metrics recorded on this actor's thread.
+    pub metrics: Metrics,
+}
+
+/// Drive one actor against a transport until `stop` is raised.
+///
+/// The loop fires due timers, then blocks on the transport until the next
+/// timer deadline (capped at 5 ms so the stop flag stays responsive).
+pub fn host_actor<T: Transport>(
+    me: ActorId,
+    mut actor: Box<dyn Actor<Msg>>,
+    mut transport: T,
+    epoch: Instant,
+    seed: u64,
+    n_actors: usize,
+    stop: &AtomicBool,
+) -> HostReport {
+    let mut wheel = TimerWheel::default();
+    let mut rng = SimRng::new(seed).fork(0x4E45_5452_544D ^ u64::from(me.0));
+    let mut metrics = Metrics::new();
+    {
+        let mut rt = NetRuntime {
+            me,
+            epoch,
+            n_actors,
+            transport: &mut transport,
+            wheel: &mut wheel,
+            rng: &mut rng,
+            metrics: &mut metrics,
+        };
+        actor.on_start(&mut rt);
+    }
+    while !stop.load(Ordering::Relaxed) {
+        let now = epoch.elapsed().as_nanos() as u64;
+        // Fire everything due.
+        while let Some((tid, tag)) = wheel.pop_due(now) {
+            let mut rt = NetRuntime {
+                me,
+                epoch,
+                n_actors,
+                transport: &mut transport,
+                wheel: &mut wheel,
+                rng: &mut rng,
+                metrics: &mut metrics,
+            };
+            actor.on_timer(&mut rt, tid, tag);
+        }
+        let wait = wheel
+            .next_deadline()
+            .map(|d| Duration::from_nanos(d.saturating_sub(now)))
+            .unwrap_or(Duration::from_millis(5))
+            .min(Duration::from_millis(5));
+        if let Some((from, msg)) = transport.recv_timeout(wait) {
+            let mut rt = NetRuntime {
+                me,
+                epoch,
+                n_actors,
+                transport: &mut transport,
+                wheel: &mut wheel,
+                rng: &mut rng,
+                metrics: &mut metrics,
+            };
+            actor.on_message(&mut rt, from, msg);
+        }
+    }
+    HostReport { actor, metrics }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wheel_orders_and_cancels() {
+        let mut w = TimerWheel::default();
+        let a = w.arm(100, 1);
+        let b = w.arm(50, 2);
+        let _c = w.arm(200, 3);
+        assert_eq!(w.next_deadline(), Some(50));
+        w.cancel(b);
+        assert_eq!(w.next_deadline(), Some(100));
+        assert_eq!(w.pop_due(60), None, "b cancelled, a not due");
+        assert_eq!(w.pop_due(150), Some((a, 1)));
+        assert_eq!(w.pop_due(150), None);
+        assert_eq!(w.next_deadline(), Some(200));
+    }
+}

@@ -1,0 +1,132 @@
+//! Crash-stop failure detection.
+//!
+//! The paper assumes peers "stop by fault" (crash-stop) and that the
+//! remaining peers keep the stream alive through parity redundancy. This
+//! module provides the timeout-based failure detector used by the
+//! fault-tolerance experiments: a peer that has not been heard from for
+//! `timeout` is *suspected*; suspicion is revoked if the peer is heard
+//! again (eventually-perfect style, ◇P).
+
+use crate::peer::PeerId;
+use crate::view::View;
+
+/// Timeout-based failure detector over a population of contents peers.
+#[derive(Clone, Debug)]
+pub struct FailureDetector {
+    timeout_nanos: u64,
+    last_heard: Vec<u64>,
+    suspected: View,
+}
+
+impl FailureDetector {
+    /// Detector over `n` peers with the given suspicion timeout; all
+    /// peers start as heard-at-time-`start`.
+    pub fn new(n: usize, timeout_nanos: u64, start_nanos: u64) -> Self {
+        assert!(timeout_nanos > 0);
+        FailureDetector {
+            timeout_nanos,
+            last_heard: vec![start_nanos; n],
+            suspected: View::empty(n),
+        }
+    }
+
+    /// Record life-sign from `peer` at `now` (any message counts as a
+    /// heartbeat). Returns true if this revoked an active suspicion.
+    pub fn heard(&mut self, peer: PeerId, now_nanos: u64) -> bool {
+        let slot = &mut self.last_heard[peer.index()];
+        *slot = (*slot).max(now_nanos);
+        if self.suspected.contains(peer) {
+            // Rebuild without the peer (View has no remove; cheap at n≈100).
+            let mut fresh = View::empty(self.suspected.population());
+            for p in self.suspected.iter().filter(|&p| p != peer) {
+                fresh.insert(p);
+            }
+            self.suspected = fresh;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Advance the clock; returns peers that just became suspected.
+    pub fn tick(&mut self, now_nanos: u64) -> Vec<PeerId> {
+        let mut newly = Vec::new();
+        for (i, &last) in self.last_heard.iter().enumerate() {
+            let p = PeerId(i as u32);
+            if now_nanos.saturating_sub(last) >= self.timeout_nanos && !self.suspected.contains(p) {
+                self.suspected.insert(p);
+                newly.push(p);
+            }
+        }
+        newly
+    }
+
+    /// True if `peer` is currently suspected.
+    pub fn is_suspected(&self, peer: PeerId) -> bool {
+        self.suspected.contains(peer)
+    }
+
+    /// Current suspicion set.
+    pub fn suspected(&self) -> &View {
+        &self.suspected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: u64 = 1_000_000;
+
+    #[test]
+    fn silence_leads_to_suspicion() {
+        let mut fd = FailureDetector::new(3, 100 * MS, 0);
+        assert!(fd.tick(99 * MS).is_empty());
+        let newly = fd.tick(100 * MS);
+        assert_eq!(newly.len(), 3, "all silent peers suspected at timeout");
+        assert!(fd.is_suspected(PeerId(0)));
+    }
+
+    #[test]
+    fn heartbeats_prevent_suspicion() {
+        let mut fd = FailureDetector::new(2, 100 * MS, 0);
+        fd.heard(PeerId(0), 50 * MS);
+        let newly = fd.tick(120 * MS);
+        assert_eq!(newly, vec![PeerId(1)], "only the silent peer suspected");
+        assert!(!fd.is_suspected(PeerId(0)));
+    }
+
+    #[test]
+    fn suspicion_is_revocable() {
+        let mut fd = FailureDetector::new(2, 100 * MS, 0);
+        fd.tick(200 * MS);
+        assert!(fd.is_suspected(PeerId(1)));
+        assert!(fd.heard(PeerId(1), 210 * MS), "revocation reported");
+        assert!(!fd.is_suspected(PeerId(1)));
+        // And it is not immediately re-suspected.
+        assert!(fd.tick(250 * MS).is_empty());
+        // But silence suspects it again later.
+        assert_eq!(
+            fd.tick(310 * MS),
+            vec![PeerId(0), PeerId(1)]
+                .into_iter()
+                .filter(|p| p.0 == 1)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn tick_reports_each_suspicion_once() {
+        let mut fd = FailureDetector::new(1, 10 * MS, 0);
+        assert_eq!(fd.tick(20 * MS).len(), 1);
+        assert_eq!(fd.tick(30 * MS).len(), 0, "already suspected");
+    }
+
+    #[test]
+    fn stale_heartbeats_do_not_rewind() {
+        let mut fd = FailureDetector::new(1, 10 * MS, 0);
+        fd.heard(PeerId(0), 50 * MS);
+        fd.heard(PeerId(0), 20 * MS); // out-of-order delivery
+        assert!(fd.tick(59 * MS).is_empty(), "latest heartbeat governs");
+    }
+}

@@ -1,0 +1,182 @@
+//! Peer views (`VW_i` in the paper).
+//!
+//! Each contents peer tracks which peers it perceives to be active as a
+//! bit vector over the contents-peer set. Views travel inside control
+//! packets and merge by union; a peer whose view is full (`|VW_i| = n`)
+//! stops selecting children — this is the termination condition of both
+//! DCoP and TCoP.
+
+use std::fmt;
+
+use crate::peer::PeerId;
+
+/// A set of contents peers, represented as a bit vector over `0..n`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct View {
+    words: Vec<u64>,
+    n: usize,
+}
+
+impl View {
+    /// The empty view over a population of `n` peers.
+    pub fn empty(n: usize) -> View {
+        View {
+            words: vec![0; n.div_ceil(64)],
+            n,
+        }
+    }
+
+    /// The full view (every peer perceived active).
+    pub fn full(n: usize) -> View {
+        let mut v = View::empty(n);
+        for i in 0..n {
+            v.insert(PeerId(i as u32));
+        }
+        v
+    }
+
+    /// Population size `n` this view ranges over.
+    pub fn population(&self) -> usize {
+        self.n
+    }
+
+    /// Mark `peer` as perceived active. Returns true if newly inserted.
+    pub fn insert(&mut self, peer: PeerId) -> bool {
+        let i = peer.index();
+        assert!(i < self.n, "peer {peer} out of view range {}", self.n);
+        let (w, b) = (i / 64, i % 64);
+        let newly = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        newly
+    }
+
+    /// True if `peer` is in the view.
+    pub fn contains(&self, peer: PeerId) -> bool {
+        let i = peer.index();
+        i < self.n && self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// `|VW|`: number of peers in the view.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when every peer is in the view (`|VW_i| = n`).
+    pub fn is_full(&self) -> bool {
+        self.count() == self.n
+    }
+
+    /// `VW_i := VW_i ∪ other`. Returns the number of newly added peers.
+    pub fn union_with(&mut self, other: &View) -> usize {
+        assert_eq!(self.n, other.n, "views over different populations");
+        let before = self.count();
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+        self.count() - before
+    }
+
+    /// Iterate over members in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = PeerId> + '_ {
+        (0..self.n)
+            .map(|i| PeerId(i as u32))
+            .filter(move |p| self.contains(*p))
+    }
+
+    /// Peers *not* in the view, ascending — the candidate pool for
+    /// `Select`.
+    pub fn complement(&self) -> Vec<PeerId> {
+        (0..self.n)
+            .map(|i| PeerId(i as u32))
+            .filter(|p| !self.contains(*p))
+            .collect()
+    }
+}
+
+impl fmt::Debug for View {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "View[{}/{}]{{", self.count(), self.n)?;
+        for (k, p) in self.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", p.0)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        let e = View::empty(100);
+        assert_eq!(e.count(), 0);
+        assert!(!e.is_full());
+        let f = View::full(100);
+        assert_eq!(f.count(), 100);
+        assert!(f.is_full());
+        assert!(f.contains(PeerId(99)));
+    }
+
+    #[test]
+    fn insert_reports_novelty() {
+        let mut v = View::empty(10);
+        assert!(v.insert(PeerId(3)));
+        assert!(!v.insert(PeerId(3)));
+        assert_eq!(v.count(), 1);
+        assert!(v.contains(PeerId(3)));
+        assert!(!v.contains(PeerId(4)));
+    }
+
+    #[test]
+    fn union_counts_new_members() {
+        let mut a = View::empty(70);
+        let mut b = View::empty(70);
+        a.insert(PeerId(1));
+        a.insert(PeerId(65));
+        b.insert(PeerId(65));
+        b.insert(PeerId(2));
+        assert_eq!(a.union_with(&b), 1);
+        assert_eq!(a.count(), 3);
+        // Union is idempotent.
+        assert_eq!(a.union_with(&b), 0);
+    }
+
+    #[test]
+    fn complement_is_exact() {
+        let mut v = View::empty(5);
+        v.insert(PeerId(0));
+        v.insert(PeerId(3));
+        assert_eq!(v.complement(), vec![PeerId(1), PeerId(2), PeerId(4)]);
+        assert_eq!(View::full(5).complement(), Vec::<PeerId>::new());
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let mut v = View::empty(130);
+        for i in [128, 0, 64, 63] {
+            v.insert(PeerId(i));
+        }
+        let got: Vec<u32> = v.iter().map(|p| p.0).collect();
+        assert_eq!(got, vec![0, 63, 64, 128]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of view range")]
+    fn out_of_range_insert_panics() {
+        let mut v = View::empty(4);
+        v.insert(PeerId(4));
+    }
+
+    #[test]
+    fn word_boundary_sizes() {
+        for n in [1usize, 63, 64, 65, 127, 128, 129] {
+            let f = View::full(n);
+            assert_eq!(f.count(), n, "n={n}");
+            assert!(f.is_full());
+        }
+    }
+}

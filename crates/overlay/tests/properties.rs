@@ -1,0 +1,107 @@
+//! Property-based tests for views and selection.
+
+use proptest::prelude::*;
+
+use mss_overlay::select::select_from_complement;
+use mss_overlay::{PeerId, View};
+use mss_sim::rng::SimRng;
+
+proptest! {
+    /// View union is monotone, idempotent, and commutative in cardinality.
+    #[test]
+    fn view_union_laws(
+        n in 1usize..200,
+        xs in proptest::collection::vec(0u32..200, 0..64),
+        ys in proptest::collection::vec(0u32..200, 0..64),
+    ) {
+        let mk = |zs: &[u32]| {
+            let mut v = View::empty(n);
+            for &z in zs {
+                v.insert(PeerId(z % n as u32));
+            }
+            v
+        };
+        let a = mk(&xs);
+        let b = mk(&ys);
+        let mut ab = a.clone();
+        ab.union_with(&b);
+        let mut ba = b.clone();
+        ba.union_with(&a);
+        prop_assert_eq!(ab.count(), ba.count());
+        prop_assert!(ab.count() >= a.count().max(b.count()));
+        prop_assert!(ab.count() <= a.count() + b.count());
+        let before = ab.count();
+        prop_assert_eq!(ab.union_with(&b), 0, "idempotent");
+        prop_assert_eq!(ab.count(), before);
+        for p in a.iter() {
+            prop_assert!(ab.contains(p));
+        }
+    }
+
+    /// Complement and membership are exact inverses.
+    #[test]
+    fn complement_partitions(n in 1usize..150, xs in proptest::collection::vec(0u32..150, 0..80)) {
+        let mut v = View::empty(n);
+        for &x in &xs {
+            v.insert(PeerId(x % n as u32));
+        }
+        let c = v.complement();
+        prop_assert_eq!(c.len() + v.count(), n);
+        for p in &c {
+            prop_assert!(!v.contains(*p));
+        }
+    }
+
+    /// Selection never returns in-view peers, never duplicates, and is
+    /// exhaustive when asked for more than the pool.
+    #[test]
+    fn selection_respects_the_pool(
+        n in 1usize..120,
+        member_bits in proptest::collection::vec(any::<bool>(), 120),
+        m in 0usize..150,
+        seed in any::<u64>(),
+    ) {
+        let mut v = View::empty(n);
+        for (i, &bit) in member_bits.iter().enumerate().take(n) {
+            if bit {
+                v.insert(PeerId(i as u32));
+            }
+        }
+        let pool = v.complement().len();
+        let mut rng = SimRng::new(seed);
+        let picked = select_from_complement(&v, m, &mut rng);
+        prop_assert_eq!(picked.len(), m.min(pool));
+        let mut sorted: Vec<_> = picked.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), picked.len(), "duplicates");
+        for p in &picked {
+            prop_assert!(!v.contains(*p), "selected an in-view peer");
+        }
+    }
+
+    /// Claiming selected peers into the view drains the pool in at most
+    /// ceil(pool/m) rounds — the termination argument for persistent
+    /// probing.
+    #[test]
+    fn repeated_selection_terminates(n in 2usize..100, m in 1usize..10, seed in any::<u64>()) {
+        let mut v = View::empty(n);
+        v.insert(PeerId(0));
+        let mut rng = SimRng::new(seed);
+        let pool = v.complement().len();
+        let mut rounds = 0;
+        loop {
+            let picked = select_from_complement(&v, m, &mut rng);
+            if picked.is_empty() {
+                break;
+            }
+            for p in picked {
+                v.insert(p);
+            }
+            rounds += 1;
+            prop_assert!(rounds <= pool, "selection failed to make progress");
+        }
+        prop_assert!(v.is_full());
+        prop_assert!(rounds <= pool.div_ceil(m));
+    }
+}

@@ -1,0 +1,202 @@
+//! The deterministic event queue at the heart of the simulator.
+//!
+//! Events are totally ordered by `(time, sequence)`: two events scheduled
+//! for the same instant dispatch in the order they were scheduled. This
+//! makes every run bit-reproducible for a given seed, regardless of host
+//! platform or allocator behaviour.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// Identifies an actor registered in a [`crate::world::World`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ActorId(pub u32);
+
+impl ActorId {
+    /// Index into the world's actor table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ActorId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "actor#{}", self.0)
+    }
+}
+
+/// Handle to a pending timer, usable for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TimerId(pub u64);
+
+/// A scheduled occurrence.
+#[derive(Debug)]
+pub enum Event<M> {
+    /// A message from `from` arriving at `to`.
+    Deliver {
+        /// Sending actor.
+        from: ActorId,
+        /// Receiving actor.
+        to: ActorId,
+        /// The payload.
+        msg: M,
+    },
+    /// A timer set by `actor` firing with its user `tag`.
+    Timer {
+        /// Actor whose timer fires.
+        actor: ActorId,
+        /// Handle originally returned by `set_timer`.
+        timer: TimerId,
+        /// User-chosen discriminator.
+        tag: u64,
+    },
+}
+
+struct Entry<M> {
+    time: SimTime,
+    seq: u64,
+    event: Event<M>,
+}
+
+impl<M> PartialEq for Entry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Entry<M> {}
+
+impl<M> PartialOrd for Entry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Entry<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to pop the earliest entry first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Priority queue of future events ordered by `(time, insertion sequence)`.
+pub struct EventQueue<M> {
+    heap: BinaryHeap<Entry<M>>,
+    next_seq: u64,
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<M> EventQueue<M> {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    pub fn push(&mut self, at: SimTime, event: Event<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            event,
+        });
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Remove and return the earliest pending event.
+    pub fn pop(&mut self) -> Option<(SimTime, Event<M>)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer_ev(tag: u64) -> Event<()> {
+        Event::Timer {
+            actor: ActorId(0),
+            timer: TimerId(tag),
+            tag,
+        }
+    }
+
+    fn tag_of(ev: Event<()>) -> u64 {
+        match ev {
+            Event::Timer { tag, .. } => tag,
+            _ => panic!("expected timer"),
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(30), timer_ev(3));
+        q.push(SimTime(10), timer_ev(1));
+        q.push(SimTime(20), timer_ev(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| tag_of(e))
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for tag in 0..100 {
+            q.push(SimTime(5), timer_ev(tag));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| tag_of(e))
+            .collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(10), timer_ev(1));
+        q.push(SimTime(5), timer_ev(0));
+        assert_eq!(q.pop().map(|(t, e)| (t.0, tag_of(e))), Some((5, 0)));
+        q.push(SimTime(7), timer_ev(2));
+        assert_eq!(q.pop().map(|(t, e)| (t.0, tag_of(e))), Some((7, 2)));
+        assert_eq!(q.pop().map(|(t, e)| (t.0, tag_of(e))), Some((10, 1)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_matches_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime(42), timer_ev(0));
+        assert_eq!(q.peek_time(), Some(SimTime(42)));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

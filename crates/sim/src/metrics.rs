@@ -1,0 +1,205 @@
+//! Run-wide metric collection: named counters and histograms.
+//!
+//! Actors and the scheduler record into a single [`Metrics`] sink; the
+//! experiment harness reads it after a run. Names are free-form strings;
+//! well-known names used by the kernel itself are exposed as constants.
+
+use std::collections::BTreeMap;
+
+use crate::hist::Histogram;
+
+/// Messages handed to the link model (including ones later dropped).
+pub const NET_SENT: &str = "net.sent";
+/// Messages dropped by the link model.
+pub const NET_DROPPED: &str = "net.dropped";
+/// Messages delivered to a live actor.
+pub const NET_DELIVERED: &str = "net.delivered";
+/// Messages addressed to a crashed/removed actor.
+pub const NET_TO_DEAD: &str = "net.to_dead";
+/// Total bytes handed to the link model.
+pub const NET_BYTES_SENT: &str = "net.bytes_sent";
+
+/// Named counters and histograms for one simulation run.
+#[derive(Default)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    hists: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// Empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `v` to counter `name` (creating it at zero).
+    pub fn add(&mut self, name: &str, v: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += v;
+        } else {
+            self.counters.insert(name.to_owned(), v);
+        }
+    }
+
+    /// Increment counter `name` by one.
+    #[inline]
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Overwrite counter `name` with `v`.
+    pub fn set(&mut self, name: &str, v: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c = v;
+        } else {
+            self.counters.insert(name.to_owned(), v);
+        }
+    }
+
+    /// Raise counter `name` to `v` if `v` is larger (running maximum).
+    pub fn set_max(&mut self, name: &str, v: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c = (*c).max(v);
+        } else {
+            self.counters.insert(name.to_owned(), v);
+        }
+    }
+
+    /// Current value of counter `name` (0 if never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Record a sample into histogram `name` (creating it if needed).
+    pub fn record(&mut self, name: &str, v: u64) {
+        if let Some(h) = self.hists.get_mut(name) {
+            h.record(v);
+        } else {
+            let mut h = Histogram::new();
+            h.record(v);
+            self.hists.insert(name.to_owned(), h);
+        }
+    }
+
+    /// Histogram `name`, if any sample was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// Iterate counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Iterate histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.hists.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Fold another sink into this one (counters add, histograms merge).
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, &v) in &other.counters {
+            self.add(k, v);
+        }
+        for (k, h) in &other.hists {
+            if let Some(mine) = self.hists.get_mut(k) {
+                mine.merge(h);
+            } else {
+                self.hists.insert(k.clone(), h.clone());
+            }
+        }
+    }
+
+    /// Drop all recorded data.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.hists.clear();
+    }
+}
+
+impl std::fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut d = f.debug_struct("Metrics");
+        for (k, v) in &self.counters {
+            d.field(k, v);
+        }
+        for (k, h) in &self.hists {
+            d.field(k, h);
+        }
+        d.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.incr("a");
+        m.add("a", 4);
+        m.incr("b");
+        assert_eq!(m.counter("a"), 5);
+        assert_eq!(m.counter("b"), 1);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn set_and_set_max() {
+        let mut m = Metrics::new();
+        m.set("a", 10);
+        m.set("a", 3);
+        assert_eq!(m.counter("a"), 3);
+        m.set_max("b", 5);
+        m.set_max("b", 2);
+        m.set_max("b", 9);
+        assert_eq!(m.counter("b"), 9);
+    }
+
+    #[test]
+    fn histograms_record() {
+        let mut m = Metrics::new();
+        m.record("lat", 10);
+        m.record("lat", 20);
+        let h = m.histogram("lat").unwrap();
+        assert_eq!(h.count(), 2);
+        assert!(m.histogram("nope").is_none());
+    }
+
+    #[test]
+    fn merge_combines_both_kinds() {
+        let mut a = Metrics::new();
+        let mut b = Metrics::new();
+        a.add("x", 1);
+        b.add("x", 2);
+        b.add("y", 3);
+        a.record("h", 5);
+        b.record("h", 6);
+        b.record("g", 7);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 3);
+        assert_eq!(a.counter("y"), 3);
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+        assert_eq!(a.histogram("g").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut m = Metrics::new();
+        m.incr("zeta");
+        m.incr("alpha");
+        let names: Vec<&str> = m.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut m = Metrics::new();
+        m.incr("a");
+        m.record("h", 1);
+        m.clear();
+        assert_eq!(m.counter("a"), 0);
+        assert!(m.histogram("h").is_none());
+    }
+}

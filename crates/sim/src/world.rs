@@ -1,0 +1,615 @@
+//! The actor world: scheduler, dispatch, timers, and fault injection.
+//!
+//! A [`World`] owns a set of actors, an [`EventQueue`], a [`LinkModel`],
+//! a seeded RNG, and a [`Metrics`] sink. Actors interact with the world
+//! only through the [`Ctx`] handed to their callbacks, which keeps the
+//! borrow structure simple and makes actor code look like ordinary
+//! message-handler code.
+//!
+//! Determinism: with a fixed seed, fixed actor registration order, and
+//! the same message handlers, a run produces an identical event sequence
+//! on every platform.
+
+use std::any::Any;
+use std::collections::HashSet;
+
+use crate::event::{ActorId, Event, EventQueue, TimerId};
+use crate::link::{LinkModel, LinkVerdict};
+use crate::metrics::{self, Metrics};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Anything that can travel over a simulated link.
+pub trait SimMessage: 'static {
+    /// Approximate encoded size in bytes, used by bandwidth-limited links
+    /// and byte counters.
+    fn wire_size(&self) -> usize;
+}
+
+impl SimMessage for () {
+    fn wire_size(&self) -> usize {
+        0
+    }
+}
+
+impl SimMessage for u32 {
+    fn wire_size(&self) -> usize {
+        4
+    }
+}
+
+impl SimMessage for u64 {
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+
+/// The capabilities an actor may use from whatever hosts it.
+///
+/// The simulator's [`Ctx`] implements this over virtual time; the
+/// `mss-net` crate implements it over threads, channels/UDP sockets and
+/// the wall clock — the same actor state machines run unchanged on both.
+pub trait Runtime<M: SimMessage> {
+    /// The id of the actor currently running.
+    fn id(&self) -> ActorId;
+    /// Current time (virtual in simulation, since-start wall time live).
+    fn now(&self) -> SimTime;
+    /// Number of actors in the session.
+    fn actor_count(&self) -> usize;
+    /// True if `actor` has not crashed (live runtimes may not know and
+    /// return true).
+    fn is_alive(&self, actor: ActorId) -> bool;
+    /// Send `msg` to `to` through the hosting transport.
+    fn send(&mut self, to: ActorId, msg: M);
+    /// Arrange for [`Actor::on_timer`] to run `delay` from now with `tag`.
+    fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId;
+    /// Cancel a pending timer (no-op if already fired).
+    fn cancel_timer(&mut self, timer: TimerId);
+    /// Deterministic per-host random number generator.
+    fn rng(&mut self) -> &mut SimRng;
+    /// Metric sink.
+    fn metrics(&mut self) -> &mut Metrics;
+    /// Crash-stop an actor (fault injection; live runtimes ignore it).
+    fn kill(&mut self, _actor: ActorId) {}
+    /// Halt the whole session (live runtimes ignore it).
+    fn stop_world(&mut self) {}
+}
+
+/// A simulated process. Implementors also provide [`Actor::as_any`] so the
+/// harness can inspect final actor state after a run (see
+/// [`World::actor_as`]).
+pub trait Actor<M: SimMessage>: Send + 'static {
+    /// Called once, when the world first runs, in registration order.
+    fn on_start(&mut self, _ctx: &mut dyn Runtime<M>) {}
+
+    /// A message from `from` arrived.
+    fn on_message(&mut self, ctx: &mut dyn Runtime<M>, from: ActorId, msg: M);
+
+    /// A timer set by this actor fired.
+    fn on_timer(&mut self, _ctx: &mut dyn Runtime<M>, _timer: TimerId, _tag: u64) {}
+
+    /// Upcast for post-run state inspection.
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// Implements [`Actor::as_any`] for a concrete actor type.
+#[macro_export]
+macro_rules! impl_as_any {
+    () => {
+        fn as_any(&self) -> &dyn ::core::any::Any {
+            self
+        }
+    };
+}
+
+/// The world handle passed to actor callbacks.
+pub struct Ctx<'a, M: SimMessage> {
+    self_id: ActorId,
+    now: SimTime,
+    queue: &'a mut EventQueue<M>,
+    link: &'a mut dyn LinkModel,
+    rng: &'a mut SimRng,
+    metrics: &'a mut Metrics,
+    alive: &'a mut [bool],
+    cancelled: &'a mut HashSet<u64>,
+    next_timer: &'a mut u64,
+    stop: &'a mut bool,
+}
+
+impl<'a, M: SimMessage> Runtime<M> for Ctx<'a, M> {
+    #[inline]
+    fn id(&self) -> ActorId {
+        self.self_id
+    }
+
+    #[inline]
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn actor_count(&self) -> usize {
+        self.alive.len()
+    }
+
+    fn is_alive(&self, actor: ActorId) -> bool {
+        self.alive.get(actor.index()).copied().unwrap_or(false)
+    }
+
+    /// The message passes the world's link model and may be delayed,
+    /// reordered relative to other pairs, or dropped.
+    fn send(&mut self, to: ActorId, msg: M) {
+        let bytes = msg.wire_size();
+        self.metrics.incr(metrics::NET_SENT);
+        self.metrics.add(metrics::NET_BYTES_SENT, bytes as u64);
+        match self
+            .link
+            .process(self.now, self.self_id, to, bytes, self.rng)
+        {
+            LinkVerdict::Deliver(at) => {
+                debug_assert!(at >= self.now, "link delivered into the past");
+                self.queue.push(
+                    at,
+                    Event::Deliver {
+                        from: self.self_id,
+                        to,
+                        msg,
+                    },
+                );
+            }
+            LinkVerdict::Drop => {
+                self.metrics.incr(metrics::NET_DROPPED);
+            }
+        }
+    }
+
+    fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
+        let id = TimerId(*self.next_timer);
+        *self.next_timer += 1;
+        self.queue.push(
+            self.now + delay,
+            Event::Timer {
+                actor: self.self_id,
+                timer: id,
+                tag,
+            },
+        );
+        id
+    }
+
+    fn cancel_timer(&mut self, timer: TimerId) {
+        self.cancelled.insert(timer.0);
+    }
+
+    #[inline]
+    fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    #[inline]
+    fn metrics(&mut self) -> &mut Metrics {
+        self.metrics
+    }
+
+    /// Crash-stop `actor`: it receives no further messages or timers.
+    /// In-flight messages *from* it still arrive (they already left).
+    fn kill(&mut self, actor: ActorId) {
+        if let Some(a) = self.alive.get_mut(actor.index()) {
+            *a = false;
+        }
+    }
+
+    /// Halt the whole simulation after the current callback returns.
+    fn stop_world(&mut self) {
+        *self.stop = true;
+    }
+}
+
+/// Owns the actors and runs the event loop.
+pub struct World<M: SimMessage> {
+    actors: Vec<Option<Box<dyn Actor<M>>>>,
+    alive: Vec<bool>,
+    started: usize,
+    queue: EventQueue<M>,
+    link: Box<dyn LinkModel>,
+    rng: SimRng,
+    metrics: Metrics,
+    now: SimTime,
+    cancelled: HashSet<u64>,
+    next_timer: u64,
+    stop: bool,
+    trace: bool,
+}
+
+impl<M: SimMessage> World<M> {
+    /// A world with the given link model and RNG seed.
+    pub fn new(link: impl LinkModel + 'static, seed: u64) -> Self {
+        World {
+            actors: Vec::new(),
+            alive: Vec::new(),
+            started: 0,
+            queue: EventQueue::new(),
+            link: Box::new(link),
+            rng: SimRng::new(seed),
+            metrics: Metrics::new(),
+            now: SimTime::ZERO,
+            cancelled: HashSet::new(),
+            next_timer: 0,
+            stop: false,
+            trace: false,
+        }
+    }
+
+    /// Register an actor; ids are assigned densely in registration order.
+    pub fn add_actor(&mut self, actor: Box<dyn Actor<M>>) -> ActorId {
+        let id = ActorId(self.actors.len() as u32);
+        self.actors.push(Some(actor));
+        self.alive.push(true);
+        id
+    }
+
+    /// Number of registered actors (alive or not).
+    pub fn actor_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Metric sink for this run.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mutable metric sink (e.g. for harness-side annotations).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// True if `actor` has not been killed.
+    pub fn is_alive(&self, actor: ActorId) -> bool {
+        self.alive.get(actor.index()).copied().unwrap_or(false)
+    }
+
+    /// Crash-stop an actor from outside the simulation.
+    pub fn kill(&mut self, actor: ActorId) {
+        if let Some(a) = self.alive.get_mut(actor.index()) {
+            *a = false;
+        }
+    }
+
+    /// Borrow a registered actor as a trait object for inspection.
+    pub fn actor_as_dyn(&self, id: ActorId) -> Option<&dyn Actor<M>> {
+        self.actors.get(id.index()).and_then(|slot| slot.as_deref())
+    }
+
+    /// Downcast a registered actor to its concrete type for inspection.
+    pub fn actor_as<T: 'static>(&self, id: ActorId) -> Option<&T> {
+        self.actors
+            .get(id.index())
+            .and_then(|slot| slot.as_deref())
+            .and_then(|a| a.as_any().downcast_ref::<T>())
+    }
+
+    fn start_pending(&mut self) {
+        while self.started < self.actors.len() {
+            let idx = self.started;
+            self.started += 1;
+            if !self.alive[idx] {
+                continue;
+            }
+            let mut actor = self.actors[idx].take().expect("actor reentrancy");
+            let mut ctx = Ctx {
+                self_id: ActorId(idx as u32),
+                now: self.now,
+                queue: &mut self.queue,
+                link: self.link.as_mut(),
+                rng: &mut self.rng,
+                metrics: &mut self.metrics,
+                alive: &mut self.alive,
+                cancelled: &mut self.cancelled,
+                next_timer: &mut self.next_timer,
+                stop: &mut self.stop,
+            };
+            actor.on_start(&mut ctx);
+            self.actors[idx] = Some(actor);
+        }
+    }
+
+    /// Dispatch a single event if one is pending at or before `limit`.
+    /// Returns false when nothing was dispatched (empty queue, past the
+    /// limit, or the world was stopped).
+    pub fn step(&mut self, limit: SimTime) -> bool {
+        self.start_pending();
+        if self.stop {
+            return false;
+        }
+        let Some(at) = self.queue.peek_time() else {
+            return false;
+        };
+        if at > limit {
+            return false;
+        }
+        let (at, event) = self.queue.pop().expect("peeked");
+        debug_assert!(at >= self.now, "time went backwards");
+        self.now = at;
+        if self.trace {
+            match &event {
+                Event::Deliver { from, to, .. } => {
+                    eprintln!("[{at:?}] deliver {from} -> {to}");
+                }
+                Event::Timer { actor, tag, .. } => {
+                    eprintln!("[{at:?}] timer {actor} tag={tag}");
+                }
+            }
+        }
+        match event {
+            Event::Deliver { from, to, msg } => {
+                if !self.alive.get(to.index()).copied().unwrap_or(false) {
+                    self.metrics.incr(metrics::NET_TO_DEAD);
+                    return true;
+                }
+                self.metrics.incr(metrics::NET_DELIVERED);
+                let Some(slot) = self.actors.get_mut(to.index()) else {
+                    return true;
+                };
+                let mut actor = slot.take().expect("actor reentrancy");
+                let mut ctx = Ctx {
+                    self_id: to,
+                    now: self.now,
+                    queue: &mut self.queue,
+                    link: self.link.as_mut(),
+                    rng: &mut self.rng,
+                    metrics: &mut self.metrics,
+                    alive: &mut self.alive,
+                    cancelled: &mut self.cancelled,
+                    next_timer: &mut self.next_timer,
+                    stop: &mut self.stop,
+                };
+                actor.on_message(&mut ctx, from, msg);
+                self.actors[to.index()] = Some(actor);
+            }
+            Event::Timer { actor, timer, tag } => {
+                if self.cancelled.remove(&timer.0) {
+                    return true;
+                }
+                if !self.alive.get(actor.index()).copied().unwrap_or(false) {
+                    return true;
+                }
+                let Some(slot) = self.actors.get_mut(actor.index()) else {
+                    return true;
+                };
+                let mut a = slot.take().expect("actor reentrancy");
+                let mut ctx = Ctx {
+                    self_id: actor,
+                    now: self.now,
+                    queue: &mut self.queue,
+                    link: self.link.as_mut(),
+                    rng: &mut self.rng,
+                    metrics: &mut self.metrics,
+                    alive: &mut self.alive,
+                    cancelled: &mut self.cancelled,
+                    next_timer: &mut self.next_timer,
+                    stop: &mut self.stop,
+                };
+                a.on_timer(&mut ctx, timer, tag);
+                self.actors[actor.index()] = Some(a);
+            }
+        }
+        true
+    }
+
+    /// Enable/disable stderr tracing of every dispatched event (debug aid).
+    pub fn set_trace(&mut self, on: bool) {
+        self.trace = on;
+    }
+
+    /// Run until the queue drains, an actor stops the world, virtual time
+    /// would pass `limit`, or `max_events` events have been dispatched.
+    /// Returns the number of events dispatched.
+    pub fn run_events(&mut self, limit: SimTime, max_events: u64) -> u64 {
+        let mut n = 0;
+        while n < max_events && self.step(limit) {
+            n += 1;
+        }
+        n
+    }
+
+    /// Run until the queue drains, an actor stops the world, or virtual
+    /// time would pass `limit`. Returns the virtual time reached.
+    pub fn run_until(&mut self, limit: SimTime) -> SimTime {
+        while self.step(limit) {}
+        if !self.stop {
+            if let Some(next) = self.queue.peek_time() {
+                if next > limit {
+                    self.now = limit;
+                }
+            }
+        }
+        self.now
+    }
+
+    /// Run until the queue drains or an actor stops the world.
+    pub fn run(&mut self) -> SimTime {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Number of events still pending.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::FixedLatency;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Ping(u32);
+    impl SimMessage for Ping {
+        fn wire_size(&self) -> usize {
+            4
+        }
+    }
+
+    /// Sends `count` pings to a target on start, one per millisecond.
+    struct Pinger {
+        target: ActorId,
+        count: u32,
+    }
+    impl Actor<Ping> for Pinger {
+        fn on_start(&mut self, ctx: &mut dyn Runtime<Ping>) {
+            for i in 0..self.count {
+                ctx.set_timer(SimDuration::from_millis(u64::from(i) + 1), u64::from(i));
+            }
+        }
+        fn on_message(&mut self, _ctx: &mut dyn Runtime<Ping>, _from: ActorId, _msg: Ping) {}
+        fn on_timer(&mut self, ctx: &mut dyn Runtime<Ping>, _timer: TimerId, tag: u64) {
+            ctx.send(self.target, Ping(tag as u32));
+        }
+        impl_as_any!();
+    }
+
+    /// Records what it receives and when.
+    #[derive(Default)]
+    struct Sink {
+        got: Vec<(u64, u32)>,
+    }
+    impl Actor<Ping> for Sink {
+        fn on_message(&mut self, ctx: &mut dyn Runtime<Ping>, _from: ActorId, msg: Ping) {
+            self.got.push((ctx.now().as_nanos(), msg.0));
+        }
+        impl_as_any!();
+    }
+
+    fn build(latency_ms: u64, pings: u32) -> (World<Ping>, ActorId, ActorId) {
+        let mut w = World::new(
+            FixedLatency::new(SimDuration::from_millis(latency_ms)),
+            1234,
+        );
+        let sink = w.add_actor(Box::new(Sink::default()));
+        let pinger = w.add_actor(Box::new(Pinger {
+            target: sink,
+            count: pings,
+        }));
+        (w, pinger, sink)
+    }
+
+    #[test]
+    fn messages_arrive_after_latency_in_order() {
+        let (mut w, _pinger, sink) = build(5, 3);
+        w.run();
+        let s: &Sink = w.actor_as(sink).unwrap();
+        assert_eq!(s.got, vec![(6_000_000, 0), (7_000_000, 1), (8_000_000, 2)]);
+        assert_eq!(w.metrics().counter(metrics::NET_SENT), 3);
+        assert_eq!(w.metrics().counter(metrics::NET_DELIVERED), 3);
+        assert_eq!(w.metrics().counter(metrics::NET_BYTES_SENT), 12);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_runs() {
+        let (mut w1, _, s1) = build(5, 10);
+        let (mut w2, _, s2) = build(5, 10);
+        w1.run();
+        w2.run();
+        let a: &Sink = w1.actor_as(s1).unwrap();
+        let b: &Sink = w2.actor_as(s2).unwrap();
+        assert_eq!(a.got, b.got);
+    }
+
+    #[test]
+    fn run_until_stops_at_limit() {
+        let (mut w, _, sink) = build(5, 3);
+        let reached = w.run_until(SimTime(6_500_000));
+        assert_eq!(reached, SimTime(6_500_000));
+        let s: &Sink = w.actor_as(sink).unwrap();
+        assert_eq!(s.got.len(), 1, "only the first ping fits before limit");
+        // Resume to completion.
+        w.run();
+        let s: &Sink = w.actor_as(sink).unwrap();
+        assert_eq!(s.got.len(), 3);
+    }
+
+    #[test]
+    fn killed_actor_receives_nothing() {
+        let (mut w, _, sink) = build(5, 3);
+        w.kill(sink);
+        w.run();
+        let s: &Sink = w.actor_as(sink).unwrap();
+        assert!(s.got.is_empty());
+        assert_eq!(w.metrics().counter(metrics::NET_TO_DEAD), 3);
+    }
+
+    #[test]
+    fn cancelled_timer_never_fires() {
+        struct Canceller {
+            fired: bool,
+        }
+        impl Actor<Ping> for Canceller {
+            fn on_start(&mut self, ctx: &mut dyn Runtime<Ping>) {
+                let t = ctx.set_timer(SimDuration::from_millis(1), 7);
+                ctx.cancel_timer(t);
+                ctx.set_timer(SimDuration::from_millis(2), 8);
+            }
+            fn on_message(&mut self, _: &mut dyn Runtime<Ping>, _: ActorId, _: Ping) {}
+            fn on_timer(&mut self, _: &mut dyn Runtime<Ping>, _: TimerId, tag: u64) {
+                assert_eq!(tag, 8, "cancelled timer fired");
+                self.fired = true;
+            }
+            impl_as_any!();
+        }
+        let mut w: World<Ping> = World::new(FixedLatency::new(SimDuration::ZERO), 9);
+        let id = w.add_actor(Box::new(Canceller { fired: false }));
+        w.run();
+        assert!(w.actor_as::<Canceller>(id).unwrap().fired);
+    }
+
+    #[test]
+    fn stop_world_halts_immediately() {
+        struct Stopper;
+        impl Actor<Ping> for Stopper {
+            fn on_start(&mut self, ctx: &mut dyn Runtime<Ping>) {
+                ctx.set_timer(SimDuration::from_millis(1), 0);
+                ctx.set_timer(SimDuration::from_millis(2), 1);
+            }
+            fn on_message(&mut self, _: &mut dyn Runtime<Ping>, _: ActorId, _: Ping) {}
+            fn on_timer(&mut self, ctx: &mut dyn Runtime<Ping>, _: TimerId, tag: u64) {
+                assert_eq!(tag, 0, "ran past stop_world");
+                ctx.stop_world();
+            }
+            impl_as_any!();
+        }
+        let mut w: World<Ping> = World::new(FixedLatency::new(SimDuration::ZERO), 9);
+        w.add_actor(Box::new(Stopper));
+        w.run();
+        assert_eq!(w.pending_events(), 1, "second timer left undispatched");
+    }
+
+    #[test]
+    fn sim_time_never_goes_backwards() {
+        struct Clocked {
+            last: SimTime,
+        }
+        impl Actor<Ping> for Clocked {
+            fn on_start(&mut self, ctx: &mut dyn Runtime<Ping>) {
+                for i in 0..100 {
+                    let us = ctx.rng().gen_range(1, 1000);
+                    ctx.set_timer(SimDuration::from_micros(us), i);
+                }
+            }
+            fn on_message(&mut self, _: &mut dyn Runtime<Ping>, _: ActorId, _: Ping) {}
+            fn on_timer(&mut self, ctx: &mut dyn Runtime<Ping>, _: TimerId, _: u64) {
+                assert!(ctx.now() >= self.last);
+                self.last = ctx.now();
+            }
+            impl_as_any!();
+        }
+        let mut w: World<Ping> = World::new(FixedLatency::new(SimDuration::ZERO), 77);
+        w.add_actor(Box::new(Clocked {
+            last: SimTime::ZERO,
+        }));
+        w.run();
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for the simulation kernel: event ordering,
+//! RNG statistical sanity, histogram bounds, link-model invariants.
+
+use proptest::prelude::*;
+
+use mss_sim::event::{ActorId, Event, EventQueue, TimerId};
+use mss_sim::hist::Histogram;
+use mss_sim::link::{Bandwidth, FixedLatency, GilbertElliott, IidLoss, LinkModel, LinkVerdict};
+use mss_sim::rng::SimRng;
+use mss_sim::time::{SimDuration, SimTime};
+
+fn timer(tag: u64) -> Event<()> {
+    Event::Timer {
+        actor: ActorId(0),
+        timer: TimerId(tag),
+        tag,
+    }
+}
+
+proptest! {
+    /// Pops come out in nondecreasing time order, with insertion order
+    /// breaking ties, for any push sequence.
+    #[test]
+    fn event_queue_is_stable_priority(times in proptest::collection::vec(0u64..50, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime(t), timer(i as u64));
+        }
+        let mut last: Option<(u64, u64)> = None; // (time, seq)
+        while let Some((t, ev)) = q.pop() {
+            let Event::Timer { tag, .. } = ev else { unreachable!() };
+            if let Some((lt, lseq)) = last {
+                prop_assert!(t.0 > lt || (t.0 == lt && tag > lseq),
+                    "order violated: ({lt},{lseq}) then ({},{tag})", t.0);
+            }
+            last = Some((t.0, tag));
+        }
+    }
+
+    /// `sample` is exactly a subset of the pool, distinct, of the
+    /// requested size.
+    #[test]
+    fn rng_sample_contract(pool_size in 0usize..100, k in 0usize..150, seed in any::<u64>()) {
+        let pool: Vec<u32> = (0..pool_size as u32).collect();
+        let mut rng = SimRng::new(seed);
+        let s = rng.sample(&pool, k);
+        prop_assert_eq!(s.len(), k.min(pool_size));
+        let mut d = s.clone();
+        d.sort_unstable();
+        d.dedup();
+        prop_assert_eq!(d.len(), s.len());
+        prop_assert!(s.iter().all(|x| (*x as usize) < pool_size));
+    }
+
+    /// `gen_below` is always within bounds; two generators with the same
+    /// seed agree, different streams disagree somewhere.
+    #[test]
+    fn rng_determinism(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut a = SimRng::new(seed);
+        let mut b = SimRng::new(seed);
+        for _ in 0..50 {
+            let x = a.gen_below(bound);
+            prop_assert!(x < bound);
+            prop_assert_eq!(x, b.gen_below(bound));
+        }
+        let mut f1 = SimRng::new(seed).fork(1);
+        let mut f2 = SimRng::new(seed).fork(2);
+        let same = (0..32).filter(|_| f1.next_u64() == f2.next_u64()).count();
+        prop_assert!(same < 4);
+    }
+
+    /// Histogram quantiles are bracketed by min and max, and the mean is
+    /// exact.
+    #[test]
+    fn histogram_bounds(values in proptest::collection::vec(0u64..1_000_000_000, 1..300)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let min = *values.iter().min().unwrap();
+        let max = *values.iter().max().unwrap();
+        prop_assert_eq!(h.min(), min);
+        prop_assert_eq!(h.max(), max);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let qq = h.quantile(q);
+            prop_assert!(qq >= min && qq <= max, "q{q}={qq} outside [{min},{max}]");
+        }
+        let exact: f64 = values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64;
+        prop_assert!((h.mean() - exact).abs() < 1e-6 * exact.max(1.0));
+    }
+
+    /// Link models never deliver into the past, and bandwidth queueing
+    /// is monotone per pair.
+    #[test]
+    fn links_respect_causality(
+        sends in proptest::collection::vec((0u64..1_000_000, 1usize..2000), 1..100),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SimRng::new(seed);
+        let mut link = Bandwidth::new(
+            1_000_000,
+            IidLoss {
+                p: 0.1,
+                inner: FixedLatency::new(SimDuration::from_micros(500)),
+            },
+        );
+        let mut sorted = sends.clone();
+        sorted.sort();
+        let mut last_arrival = 0u64;
+        for (at, bytes) in sorted {
+            let now = SimTime(at);
+            match link.process(now, ActorId(0), ActorId(1), bytes, &mut rng) {
+                LinkVerdict::Deliver(t) => {
+                    prop_assert!(t >= now, "delivered into the past");
+                    prop_assert!(t.0 >= last_arrival, "per-pair reordering under FIFO bandwidth");
+                    last_arrival = t.0;
+                }
+                LinkVerdict::Drop => {}
+            }
+        }
+    }
+
+    /// Gilbert–Elliott marginal loss stays within [loss_good, loss_bad].
+    #[test]
+    fn gilbert_elliott_marginal_bounds(
+        p_gb in 0.001f64..0.2,
+        p_bg in 0.01f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SimRng::new(seed);
+        let mut ge = GilbertElliott::new(p_gb, p_bg, 0.0, 1.0, FixedLatency::new(SimDuration::ZERO));
+        let n = 20_000;
+        let drops = (0..n)
+            .filter(|_| {
+                ge.process(SimTime::ZERO, ActorId(0), ActorId(1), 1, &mut rng)
+                    == LinkVerdict::Drop
+            })
+            .count();
+        let rate = drops as f64 / n as f64;
+        // Stationary bad-state probability is p_gb/(p_gb+p_bg); allow
+        // generous sampling slack.
+        let expect = p_gb / (p_gb + p_bg);
+        prop_assert!((rate - expect).abs() < 0.1 + expect * 0.5,
+            "rate={rate} expect={expect}");
+    }
+}

@@ -1,0 +1,44 @@
+//! Flash crowd — the paper's motivating scenario at full scale: many
+//! leaf peers request the same content from one shared swarm of
+//! commodity contents peers, simultaneously.
+//!
+//! ```text
+//! cargo run --release --example flash_crowd
+//! ```
+
+use mss::core::multi::MultiSession;
+use mss::core::prelude::*;
+
+fn main() {
+    let mut cfg = SessionConfig::small(50, 6, 7);
+    cfg.content = ContentDesc::small(9, 300);
+    println!(
+        "swarm: n={} peers, H={}, h={}; content {} packets\n",
+        cfg.n, cfg.fanout, cfg.parity_interval, cfg.content.packets
+    );
+    println!(
+        "{:>7}  {:>10}  {:>14}  {:>13}  {:>9}",
+        "leaves", "completion", "mean_peer_load", "max_peer_load", "imbalance"
+    );
+    for leaves in [1usize, 4, 16, 32] {
+        let out = MultiSession::new(cfg.clone(), Protocol::Dcop, leaves)
+            .time_limit(SimDuration::from_secs(300))
+            .run();
+        let mean_load =
+            out.per_peer_sent.iter().sum::<u64>() as f64 / out.per_peer_sent.len() as f64;
+        println!(
+            "{:>7}  {:>10.2}  {:>14.1}  {:>13}  {:>9.2}",
+            leaves,
+            out.completion(),
+            mean_load,
+            out.max_peer_sent(),
+            out.load_imbalance()
+        );
+        assert_eq!(out.completion(), 1.0, "{leaves} leaves: some leaf starved");
+    }
+    println!(
+        "\nper-peer load grows linearly with the crowd and stays balanced —\n\
+         no peer is a server; adding leaves never starves anyone. A staggered\n\
+         crowd (`.stagger(...)`) behaves the same with earlier leaves finishing first."
+    );
+}

@@ -1,0 +1,45 @@
+//! Protocol face-off: DCoP and TCoP against the paper's four baselines —
+//! broadcast flood, unicast chain, centralized 2PC, leaf-computed
+//! schedules — on one workload.
+//!
+//! ```text
+//! cargo run --release --example protocol_faceoff
+//! ```
+
+use mss::core::config::Piggyback;
+use mss::core::prelude::*;
+
+fn main() {
+    println!("n=40 peers, H=6, h=5, 300-packet content\n");
+    println!(
+        "{:>13}  {:>6}  {:>9}  {:>8}  {:>8}  {:>6}  {:>8}",
+        "protocol", "rounds", "msgs", "kbytes", "sync_ms", "rate", "complete"
+    );
+    for protocol in Protocol::ALL {
+        let mut cfg = SessionConfig::small(40, 6, 4242);
+        cfg.content = ContentDesc::small(5, 300);
+        if protocol == Protocol::Tcop {
+            cfg.piggyback = Piggyback::SelectionsOnly;
+        }
+        let o = Session::new(cfg, protocol)
+            .time_limit(SimDuration::from_secs(60))
+            .run();
+        println!(
+            "{:>13}  {:>6}  {:>9}  {:>8.1}  {:>8.2}  {:>6.3}  {:>8}",
+            protocol.name(),
+            o.rounds,
+            o.coord_msgs_until_active,
+            o.coord_bytes as f64 / 1e3,
+            o.sync_nanos as f64 / 1e6,
+            o.receipt_volume_ratio,
+            o.complete,
+        );
+        assert!(o.complete, "{} failed to stream", protocol.name());
+    }
+    println!(
+        "\nReading guide: broadcast syncs in 1 round but costs n² messages and n× \
+         redundancy;\nthe unicast chain is cheap but needs n rounds; centralized \
+         is always 3 rounds but\nserializes on the coordinator; DCoP gets the \
+         flooding speed at a fraction of the\nmessage bill — the paper's conclusion."
+    );
+}

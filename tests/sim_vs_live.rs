@@ -1,0 +1,78 @@
+//! Simulator vs live runtimes: the identical protocol state machines run
+//! on (a) the deterministic discrete-event simulator, (b) OS threads with
+//! channels, and (c) UDP loopback sockets — and agree on the protocol's
+//! observable outcomes (coverage, completion, coordination volume class).
+
+use std::time::Duration;
+
+use mss::core::prelude::*;
+use mss::core::session::Session;
+use mss::net::bus::ThreadedSession;
+use mss::net::udp::run_udp_session;
+
+fn shared_cfg() -> SessionConfig {
+    let mut cfg = SessionConfig::small(8, 3, 1234);
+    cfg.content = ContentDesc::small(21, 100);
+    cfg
+}
+
+#[test]
+fn dcop_agrees_across_all_three_substrates() {
+    let sim = Session::new(shared_cfg(), Protocol::Dcop)
+        .time_limit(SimDuration::from_secs(60))
+        .run();
+    let threaded =
+        ThreadedSession::new(shared_cfg(), Protocol::Dcop, Duration::from_millis(1200)).run();
+    let udp = run_udp_session(shared_cfg(), Protocol::Dcop, Duration::from_millis(1200))
+        .expect("udp session");
+
+    // All three cover every peer and reconstruct the content.
+    assert_eq!(sim.activated, 8);
+    assert_eq!(threaded.activated, 8);
+    assert_eq!(udp.activated, 8);
+    assert!(sim.complete);
+    assert!(threaded.complete, "threaded missing {}", threaded.missing);
+    assert!(udp.complete, "udp missing {}", udp.missing);
+
+    // Coordination volume is in the same class (timing and rng streams
+    // differ, so exact counts may not match — an order of magnitude must).
+    for (name, msgs) in [("threaded", threaded.coord_msgs), ("udp", udp.coord_msgs)] {
+        assert!(
+            msgs >= sim.coord_msgs_total / 4 && msgs <= sim.coord_msgs_total * 4,
+            "{name} coordination volume {} vs simulator {}",
+            msgs,
+            sim.coord_msgs_total
+        );
+    }
+}
+
+#[test]
+fn tcop_agrees_across_substrates() {
+    let sim = Session::new(shared_cfg(), Protocol::Tcop)
+        .time_limit(SimDuration::from_secs(60))
+        .run();
+    let threaded =
+        ThreadedSession::new(shared_cfg(), Protocol::Tcop, Duration::from_millis(1500)).run();
+    assert_eq!(sim.activated, 8);
+    assert_eq!(threaded.activated, 8);
+    assert!(sim.complete);
+    assert!(threaded.complete, "threaded missing {}", threaded.missing);
+}
+
+#[test]
+fn centralized_agrees_across_substrates() {
+    let sim = Session::new(shared_cfg(), Protocol::Centralized)
+        .time_limit(SimDuration::from_secs(60))
+        .run();
+    let threaded = ThreadedSession::new(
+        shared_cfg(),
+        Protocol::Centralized,
+        Duration::from_millis(1200),
+    )
+    .run();
+    assert!(sim.complete);
+    assert!(threaded.complete, "threaded missing {}", threaded.missing);
+    // 2PC message count is deterministic: 1 + 3(n−1) in every substrate.
+    assert_eq!(sim.coord_msgs_total, 1 + 3 * 7);
+    assert_eq!(threaded.coord_msgs, 1 + 3 * 7);
+}
