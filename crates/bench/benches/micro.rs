@@ -4,15 +4,123 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
+use mss_core::schedule::{merge_assignment, TxSchedule};
 use mss_media::parity::{div_all, enhance, esq, Coding, Decoder};
 use mss_media::rs;
 use mss_media::slots::allocate;
-use mss_media::{ContentDesc, PacketSeq};
+use mss_media::{ContentDesc, PacketId, PacketSeq};
 use mss_overlay::select::select_from_complement;
 use mss_overlay::{PeerId, View};
 use mss_sim::event::{ActorId, Event, EventQueue, TimerId};
 use mss_sim::rng::SimRng;
 use mss_sim::time::SimTime;
+
+/// Sequence-algebra hot path: `contains`/`union`/`merge_into` on
+/// schedules of 1k/10k/100k packets, next to scan-based baselines
+/// (`contains_scan`, `union_scan`) equivalent to the pre-index
+/// implementation, so the indexed speedup is measured in one run.
+fn bench_seq(c: &mut Criterion) {
+    let mut g = c.benchmark_group("seq");
+    for l in [1_000u64, 10_000, 100_000] {
+        // Two interleaved halves: every union case has real merge work.
+        let evens = PacketSeq::from_ids(
+            (1..=l)
+                .filter(|s| s % 2 == 0)
+                .map(|s| PacketId::Data(mss_media::Seq(s)))
+                .collect(),
+        );
+        let odds = PacketSeq::from_ids(
+            (1..=l)
+                .filter(|s| s % 2 == 1)
+                .map(|s| PacketId::Data(mss_media::Seq(s)))
+                .collect(),
+        );
+        let probes: Vec<PacketId> = (1..=64u64)
+            .map(|k| PacketId::Data(mss_media::Seq(k * l / 64)))
+            .collect();
+
+        g.throughput(Throughput::Elements(64));
+        g.bench_with_input(BenchmarkId::new("contains", l), &l, |b, _| {
+            let whole = PacketSeq::data_range(l);
+            whole.contains(&probes[0]); // build the index outside the loop
+            b.iter(|| probes.iter().filter(|p| whole.contains(p)).count());
+        });
+        g.bench_with_input(BenchmarkId::new("contains_scan", l), &l, |b, _| {
+            let whole = PacketSeq::data_range(l);
+            b.iter(|| {
+                probes
+                    .iter()
+                    .filter(|p| whole.ids().iter().any(|q| &q == p))
+                    .count()
+            });
+        });
+
+        g.throughput(Throughput::Elements(l));
+        g.bench_with_input(BenchmarkId::new("union", l), &l, |b, _| {
+            b.iter(|| evens.union(&odds).len());
+        });
+        g.bench_with_input(BenchmarkId::new("union_scan", l), &l, |b, _| {
+            b.iter(|| union_scan(&evens, &odds).len());
+        });
+        g.bench_with_input(BenchmarkId::new("merge_into", l), &l, |b, _| {
+            b.iter(|| {
+                let mut m = evens.clone();
+                m.merge_into(&odds);
+                m.len()
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("merge_assignment", l), &l, |b, _| {
+            let cur = TxSchedule {
+                seq: evens.clone(),
+                pos: 0,
+                interval_nanos: 1_000,
+                first_delay_nanos: 1_000,
+            };
+            let inc = TxSchedule {
+                seq: odds.clone(),
+                pos: 0,
+                interval_nanos: 2_000,
+                first_delay_nanos: 2_000,
+            };
+            b.iter(|| merge_assignment(&cur, &inc).seq.len());
+        });
+    }
+    g.finish();
+}
+
+/// The seed's union: fresh per-call hash set over `self`, merge by
+/// readiness key. Kept here as the baseline the indexed version is
+/// measured against.
+fn union_scan(a: &PacketSeq, b: &PacketSeq) -> PacketSeq {
+    let key = |p: &PacketId| (p.max_seq().0, p.coverage_len());
+    let mine: std::collections::HashSet<&PacketId> = a.ids().iter().collect();
+    let mut merged: Vec<PacketId> = Vec::with_capacity(a.len() + b.len());
+    let mut xs = a.ids().iter().peekable();
+    let mut ys = b.ids().iter().filter(|p| !mine.contains(*p)).peekable();
+    loop {
+        match (xs.peek(), ys.peek()) {
+            (Some(x), Some(y)) => {
+                if key(x) <= key(y) {
+                    merged.push((*x).clone());
+                    xs.next();
+                } else {
+                    merged.push((*y).clone());
+                    ys.next();
+                }
+            }
+            (Some(_), None) => {
+                merged.extend(xs.by_ref().cloned());
+                break;
+            }
+            (None, Some(_)) => {
+                merged.extend(ys.by_ref().cloned());
+                break;
+            }
+            (None, None) => break,
+        }
+    }
+    PacketSeq::from_ids(merged)
+}
 
 fn bench_parity(c: &mut Criterion) {
     let mut g = c.benchmark_group("parity");
@@ -190,6 +298,7 @@ fn bench_kernel(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_seq,
     bench_parity,
     bench_decoder,
     bench_rs,

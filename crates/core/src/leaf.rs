@@ -105,11 +105,7 @@ impl LeafActor {
             return;
         }
         // Quiet and incomplete: request the missing packets.
-        let missing: Vec<mss_media::Seq> = self
-            .decoder_missing()
-            .into_iter()
-            .take(REPAIR_BATCH)
-            .collect();
+        let missing = self.missing_seqs(REPAIR_BATCH);
         if missing.is_empty() {
             return;
         }
@@ -130,10 +126,16 @@ impl LeafActor {
         self.arm_repair(ctx);
     }
 
-    fn decoder_missing(&self) -> Vec<mss_media::Seq> {
-        (1..=self.cfg.content.packets)
-            .map(mss_media::Seq)
-            .filter(|s| self.decoder.payload(*s).is_none())
+    /// Up to `limit` still-missing data seqs, in stream order. `avail`
+    /// records the decode time of every learned packet, so this is a
+    /// plain vector scan with an early stop — no per-seq decoder probe.
+    fn missing_seqs(&self, limit: usize) -> Vec<mss_media::Seq> {
+        self.avail
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t == u64::MAX)
+            .map(|(i, _)| mss_media::Seq(i as u64 + 1))
+            .take(limit)
             .collect()
     }
 

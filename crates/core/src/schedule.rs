@@ -14,13 +14,23 @@ use mss_media::PacketSeq;
 use crate::config::Reenhance;
 
 /// A peer's live transmission schedule.
+///
+/// Interval sentinel: an `interval_nanos` of `0` or `u64::MAX` both mean
+/// *no steady rate* — the schedule is idle (nothing is paced by it).
+/// `u64::MAX` is what [`TxSchedule::idle`] produces; `0` can reach a peer
+/// in a malformed or degenerate control packet and must read the same
+/// way, never as "infinitely fast". Every consumer of the field
+/// ([`TxSchedule::rate_pps`], [`harmonic_interval`], [`mark_position`])
+/// goes through [`idle_interval`] so the two encodings stay
+/// interchangeable.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TxSchedule {
     /// Packets to send, in order.
     pub seq: PacketSeq,
     /// Index of the next packet to send.
     pub pos: usize,
-    /// Nanoseconds between consecutive packet transmissions.
+    /// Nanoseconds between consecutive packet transmissions; `0` and
+    /// `u64::MAX` both denote "idle, no steady rate" (see type docs).
     pub interval_nanos: u64,
     /// Delay before the *first* transmission: part `i` of a division is
     /// phase-shifted by `i` enhanced-stream slots so the `parts` senders
@@ -63,12 +73,18 @@ impl TxSchedule {
 
     /// Sending rate in packets/second (0 when idle).
     pub fn rate_pps(&self) -> f64 {
-        if self.interval_nanos == 0 || self.interval_nanos == u64::MAX || self.exhausted() {
+        if idle_interval(self.interval_nanos) || self.exhausted() {
             0.0
         } else {
             1e9 / self.interval_nanos as f64
         }
     }
+}
+
+/// True when `nanos` is one of the two "no steady rate" sentinel values
+/// (see [`TxSchedule`] docs).
+pub fn idle_interval(nanos: u64) -> bool {
+    nanos == 0 || nanos == u64::MAX
 }
 
 /// Interval after dividing a rate-`interval` stream into `parts` with
@@ -77,9 +93,11 @@ impl TxSchedule {
 /// (Dividing slows each sender down by `parts`, re-enhancement speeds the
 /// aggregate up by `(h+1)/h`.)
 pub fn divided_interval(interval_nanos: u64, h: usize, parts: usize) -> u64 {
-    assert!(h >= 1 && parts >= 1);
-    let num = interval_nanos as u128 * h as u128 * parts as u128;
-    let den = (h + 1) as u128;
+    // `h` and `parts` come off the wire in control packets; a malformed
+    // zero must not crash the peer, so clamp instead of panicking.
+    debug_assert!(h >= 1 && parts >= 1, "divided_interval({h}, {parts})");
+    let num = interval_nanos as u128 * h.max(1) as u128 * parts.max(1) as u128;
+    let den = (h.max(1) + 1) as u128;
     (num / den).max(1) as u64
 }
 
@@ -149,7 +167,12 @@ pub fn weighted_initial_assignment(
     tail_parity: bool,
     coding: Coding,
 ) -> TxSchedule {
-    assert!(my_index < weights.len());
+    // `my_index` is derived from a control packet; an out-of-range value
+    // means the sender allocated us nothing — idle, not a crash.
+    debug_assert!(my_index < weights.len(), "{my_index} ≥ {}", weights.len());
+    if my_index >= weights.len() {
+        return TxSchedule::idle();
+    }
     let enhanced = enhance(
         &PacketSeq::data_range(content_packets),
         h,
@@ -188,7 +211,7 @@ pub fn weighted_initial_assignment(
 /// position `pos_at_send`; by the switch instant `δ` later it has sent
 /// `δ / τ_j` more packets.
 pub fn mark_position(pos_at_send: usize, interval_nanos: u64, delta_nanos: u64) -> usize {
-    if interval_nanos == 0 || interval_nanos == u64::MAX {
+    if idle_interval(interval_nanos) {
         return pos_at_send;
     }
     pos_at_send + (delta_nanos / interval_nanos) as usize
@@ -298,10 +321,11 @@ pub fn derived_assignment_opts(
 /// (readiness order); the rates add (harmonic interval), since the child
 /// must deliver both parents' shares on time.
 pub fn merge_assignment(current: &TxSchedule, incoming: &TxSchedule) -> TxSchedule {
-    let remaining = current.remaining();
+    let mut seq = current.remaining();
+    seq.merge_into(&incoming.seq);
     let interval = harmonic_interval(current.interval_nanos, incoming.interval_nanos);
     TxSchedule {
-        seq: remaining.union(&incoming.seq),
+        seq,
         pos: 0,
         interval_nanos: interval,
         first_delay_nanos: current
@@ -312,12 +336,14 @@ pub fn merge_assignment(current: &TxSchedule, incoming: &TxSchedule) -> TxSchedu
 }
 
 /// Interval of the combined stream of two senders merged into one: rates
-/// add, so intervals combine harmonically (`a·b/(a+b)`).
+/// add, so intervals combine harmonically (`a·b/(a+b)`). An idle operand
+/// (`0` or `u64::MAX`, see [`TxSchedule`] docs) contributes no rate, so
+/// the other interval passes through unchanged.
 pub fn harmonic_interval(a: u64, b: u64) -> u64 {
-    if a == u64::MAX || a == 0 {
+    if idle_interval(a) {
         return b;
     }
-    if b == u64::MAX || b == 0 {
+    if idle_interval(b) {
         return a;
     }
     ((a as u128 * b as u128) / (a as u128 + b as u128)).max(1) as u64
@@ -439,6 +465,41 @@ mod tests {
         assert!(s.remaining().is_empty());
         assert_eq!(s.rate_pps(), 0.0);
         assert_eq!(TxSchedule::idle().rate_pps(), 0.0);
+    }
+
+    #[test]
+    fn zero_and_max_intervals_both_read_as_idle() {
+        // Regression: `0` used to mean "idle" to rate_pps but "use the
+        // other rate" to harmonic_interval, while `u64::MAX` meant idle
+        // to both. Both sentinels now read identically everywhere.
+        for sentinel in [0u64, u64::MAX] {
+            assert!(idle_interval(sentinel));
+            let s = TxSchedule {
+                seq: PacketSeq::data_range(4),
+                pos: 0,
+                interval_nanos: sentinel,
+                first_delay_nanos: 100,
+            };
+            assert_eq!(s.rate_pps(), 0.0, "sentinel {sentinel} must be idle");
+            assert_eq!(harmonic_interval(sentinel, 700), 700);
+            assert_eq!(harmonic_interval(700, sentinel), 700);
+            assert_eq!(mark_position(10, sentinel, 5_000), 10);
+            // Merging an idle assignment leaves the live rate unchanged.
+            let live = initial_assignment(10, 1, 1, 0, 1_000);
+            let merged = merge_assignment(&live, &s);
+            assert_eq!(merged.interval_nanos, live.interval_nanos);
+        }
+        assert!(!idle_interval(1));
+        assert_eq!(harmonic_interval(0, u64::MAX), u64::MAX);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn malformed_control_values_degrade_instead_of_panicking() {
+        // Release builds clamp wire-supplied zeros rather than crash.
+        assert_eq!(divided_interval(1_000, 0, 0), divided_interval(1_000, 1, 1));
+        let s = weighted_initial_assignment(10, 1, &[1, 1], 7, 1_000, true, Coding::Xor);
+        assert!(s.seq.is_empty(), "out-of-range index must idle the peer");
     }
 
     #[test]

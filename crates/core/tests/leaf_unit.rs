@@ -1,4 +1,3 @@
-
 //! Leaf-side unit tests with a mock runtime: gating, duplicate
 //! accounting, and repair pacing decisions.
 

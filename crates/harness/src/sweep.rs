@@ -1,9 +1,9 @@
 //! Parallel parameter sweeps over independent simulation runs.
 //!
 //! Each point of a sweep is a self-contained deterministic simulation, so
-//! the sweep parallelizes embarrassingly across OS threads (crossbeam
-//! scoped threads; no work stealing needed — points are coarse). Results
-//! come back in input order regardless of scheduling.
+//! the sweep parallelizes embarrassingly across OS threads (std scoped
+//! threads; no work stealing needed — points are coarse). Results come
+//! back in input order regardless of scheduling.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -26,9 +26,9 @@ where
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<T>>> = Mutex::new((0..points.len()).map(|_| None).collect());
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= points.len() {
                     break;
@@ -37,8 +37,7 @@ where
                 results.lock().expect("poisoned")[i] = Some(out);
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
 
     results
         .into_inner()

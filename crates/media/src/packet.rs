@@ -11,6 +11,7 @@
 
 use bytes::Bytes;
 use std::fmt;
+use std::sync::Arc;
 
 /// Sequence number of a data packet within one content (1-based, as in the
 /// paper's `t_1, …, t_l`).
@@ -35,20 +36,25 @@ impl fmt::Display for Seq {
 /// packet) carries the same payload as that data packet but keeps a
 /// distinct `Parity` identity: re-division must be able to tell
 /// redundancy apart from original data to avoid multiplying it.
+///
+/// Coverage sets are shared `Arc<[Seq]>` slices: packet ids are cloned
+/// pervasively (schedule unions, division, re-enhancement down the
+/// coordination tree), and sharing makes every such clone O(1) instead
+/// of copying the coverage.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum PacketId {
     /// An original content packet `t_seq`.
     Data(Seq),
     /// XOR of the data packets with the given (sorted, nonempty)
     /// coverage.
-    Parity(Box<[Seq]>),
+    Parity(Arc<[Seq]>),
     /// Reed–Solomon parity row `row` over the given (sorted, nonempty)
     /// data coverage: payload = `Σ_j α^(row·j) · payload(seqs[j])` in
     /// GF(256). Row 0 coincides with XOR parity; higher rows make
     /// multi-loss recovery possible (see [`crate::rs`]).
     RsParity {
         /// Covered data packets, sorted ascending.
-        seqs: Box<[Seq]>,
+        seqs: Arc<[Seq]>,
         /// Vandermonde row index (`0..r`).
         row: u8,
     },
@@ -78,7 +84,7 @@ impl PacketId {
         if cover.is_empty() {
             None
         } else {
-            Some(PacketId::Parity(cover.into_boxed_slice()))
+            Some(PacketId::Parity(cover.into()))
         }
     }
 

@@ -126,7 +126,7 @@ fn rs_enhance(pkt: &PacketSeq, h: usize, r: u8, tail_parity: bool) -> PacketSeq 
             continue;
         }
         seqs.sort_unstable();
-        let seqs: Box<[Seq]> = seqs.into_boxed_slice();
+        let seqs: std::sync::Arc<[Seq]> = seqs.into();
         // Rotate parity placement across segments (and spread rows within
         // a segment), like the paper's XOR rotation: without it, parity
         // always lands at the same group offset and a division whose

@@ -11,16 +11,28 @@
 //! schedules by readiness index (stable, duplicates removed), which
 //! reproduces the paper's §3.6 merge example
 //! `pkt_6 = ⟨t_1, t_5, t_11, t⟨7,⟨9,11⟩,12⟩⟩`.
+//!
+//! Performance: alongside the ordered items, a [`PacketSeq`] carries a
+//! lazily-built hash index from packet id to first position, so
+//! [`PacketSeq::contains`] and [`PacketSeq::index_of`] are O(1) after a
+//! one-time O(n) build instead of an O(n) scan per query. The index is
+//! built on first query, kept incrementally correct across
+//! [`PacketSeq::push`], and never consulted stale; the set operations
+//! (`union`, `intersection`, in-place [`PacketSeq::merge_into`]) reuse
+//! it instead of materializing a fresh hash set per call.
 
-use std::collections::HashSet;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::OnceLock;
 
 use crate::packet::{PacketId, Seq};
 
 /// An ordered sequence of distinct packets (a transmission schedule).
-#[derive(Clone, PartialEq, Eq, Default, Debug)]
 pub struct PacketSeq {
     items: Vec<PacketId>,
+    /// Packet id → first position in `items`, built on first query.
+    /// Always either unset or exactly consistent with `items`.
+    index: OnceLock<HashMap<PacketId, u32>>,
 }
 
 /// Sort key used when merging schedules: readiness index first, data
@@ -32,14 +44,15 @@ fn merge_key(p: &PacketId) -> (u64, usize, &[Seq]) {
 impl PacketSeq {
     /// Empty sequence.
     pub fn new() -> Self {
-        PacketSeq { items: Vec::new() }
+        PacketSeq {
+            items: Vec::new(),
+            index: OnceLock::new(),
+        }
     }
 
     /// The pure data sequence `⟨t_1, …, t_l⟩`.
     pub fn data_range(l: u64) -> Self {
-        PacketSeq {
-            items: (1..=l).map(|s| PacketId::Data(Seq(s))).collect(),
-        }
+        PacketSeq::from_ids((1..=l).map(|s| PacketId::Data(Seq(s))).collect())
     }
 
     /// Build from explicit packets. Repeats are allowed — a schedule may
@@ -47,13 +60,27 @@ impl PacketSeq {
     /// full-duplication mode); the set operations treat repeats as one
     /// element.
     pub fn from_ids(ids: Vec<PacketId>) -> Self {
-        PacketSeq { items: ids }
+        PacketSeq {
+            items: ids,
+            index: OnceLock::new(),
+        }
+    }
+
+    /// The id → first-position index, building it on first use.
+    fn index(&self) -> &HashMap<PacketId, u32> {
+        self.index.get_or_init(|| {
+            debug_assert!(self.items.len() <= u32::MAX as usize);
+            let mut m = HashMap::with_capacity(self.items.len());
+            for (i, p) in self.items.iter().enumerate() {
+                m.entry(p.clone()).or_insert(i as u32);
+            }
+            m
+        })
     }
 
     /// True when no packet occurs twice.
     pub fn is_distinct(&self) -> bool {
-        let mut seen = HashSet::with_capacity(self.items.len());
-        self.items.iter().all(|id| seen.insert(id))
+        self.index().len() == self.items.len()
     }
 
     /// Number of packets, `|pkt|`.
@@ -81,23 +108,28 @@ impl PacketSeq {
         self.items.get(i)
     }
 
-    /// Position of `id`, if present.
+    /// Position of the first occurrence of `id`, if present. O(1) after
+    /// the index is built.
     pub fn index_of(&self, id: &PacketId) -> Option<usize> {
-        self.items.iter().position(|p| p == id)
+        self.index().get(id).map(|&i| i as usize)
     }
 
-    /// Membership test.
+    /// Membership test. O(1) after the index is built.
     pub fn contains(&self, id: &PacketId) -> bool {
-        self.items.iter().any(|p| p == id)
+        self.index().contains_key(id)
     }
 
     /// `pkt_1 ∪ pkt_2`: every packet of either sequence, merged by
     /// readiness index (see module docs), duplicates removed.
     pub fn union(&self, other: &PacketSeq) -> PacketSeq {
-        let mine: HashSet<&PacketId> = self.items.iter().collect();
+        let mine = self.index();
         let mut merged: Vec<PacketId> = Vec::with_capacity(self.len() + other.len());
         let mut a = self.items.iter().peekable();
-        let mut b = other.items.iter().filter(|p| !mine.contains(*p)).peekable();
+        let mut b = other
+            .items
+            .iter()
+            .filter(|p| !mine.contains_key(*p))
+            .peekable();
         loop {
             match (a.peek(), b.peek()) {
                 (Some(x), Some(y)) => {
@@ -120,29 +152,59 @@ impl PacketSeq {
                 (None, None) => break,
             }
         }
-        PacketSeq { items: merged }
+        PacketSeq::from_ids(merged)
+    }
+
+    /// In-place `self = self ∪ other`, bit-for-bit the same result as
+    /// [`PacketSeq::union`] without cloning `self`'s packets. The common
+    /// case where `other` adds nothing is detected up front and costs no
+    /// allocation at all.
+    pub fn merge_into(&mut self, other: &PacketSeq) {
+        let fresh: Vec<&PacketId> = {
+            let mine = self.index();
+            other
+                .items
+                .iter()
+                .filter(|p| !mine.contains_key(*p))
+                .collect()
+        };
+        if fresh.is_empty() {
+            return;
+        }
+        let mut merged: Vec<PacketId> = Vec::with_capacity(self.items.len() + fresh.len());
+        let mut b = fresh.into_iter().peekable();
+        for x in self.items.drain(..) {
+            while let Some(y) = b.peek() {
+                if merge_key(&x) <= merge_key(y) {
+                    break;
+                }
+                merged.push((*y).clone());
+                b.next();
+            }
+            merged.push(x);
+        }
+        merged.extend(b.cloned());
+        self.items = merged;
+        self.index = OnceLock::new();
     }
 
     /// `pkt_1 ∩ pkt_2`: packets present in both, in `self`'s order.
     pub fn intersection(&self, other: &PacketSeq) -> PacketSeq {
-        let theirs: HashSet<&PacketId> = other.items.iter().collect();
-        PacketSeq {
-            items: self
-                .items
+        let theirs = other.index();
+        PacketSeq::from_ids(
+            self.items
                 .iter()
-                .filter(|p| theirs.contains(*p))
+                .filter(|p| theirs.contains_key(*p))
                 .cloned()
                 .collect(),
-        }
+        )
     }
 
     /// Prefix `pkt⟨t]`: everything up to and including `t`.
     /// Returns the whole sequence if `t` is absent.
     pub fn prefix_through(&self, t: &PacketId) -> PacketSeq {
         match self.index_of(t) {
-            Some(i) => PacketSeq {
-                items: self.items[..=i].to_vec(),
-            },
+            Some(i) => PacketSeq::from_ids(self.items[..=i].to_vec()),
             None => self.clone(),
         }
     }
@@ -151,22 +213,23 @@ impl PacketSeq {
     /// Returns an empty sequence if `t` is absent.
     pub fn postfix_from(&self, t: &PacketId) -> PacketSeq {
         match self.index_of(t) {
-            Some(i) => PacketSeq {
-                items: self.items[i..].to_vec(),
-            },
+            Some(i) => PacketSeq::from_ids(self.items[i..].to_vec()),
             None => PacketSeq::new(),
         }
     }
 
     /// Postfix starting at position `i` (0-based); empty if out of range.
     pub fn postfix_at(&self, i: usize) -> PacketSeq {
-        PacketSeq {
-            items: self.items.get(i..).unwrap_or(&[]).to_vec(),
-        }
+        PacketSeq::from_ids(self.items.get(i..).unwrap_or(&[]).to_vec())
     }
 
-    /// Append a packet.
+    /// Append a packet. If the index is already built it is updated in
+    /// place, so interleaved push/query loops stay O(1) per operation.
     pub fn push(&mut self, id: PacketId) {
+        let pos = self.items.len() as u32;
+        if let Some(m) = self.index.get_mut() {
+            m.entry(id.clone()).or_insert(pos);
+        }
         self.items.push(id);
     }
 
@@ -178,6 +241,36 @@ impl PacketSeq {
     /// Number of parity packets.
     pub fn parity_count(&self) -> usize {
         self.items.iter().filter(|p| p.is_parity()).count()
+    }
+}
+
+impl Default for PacketSeq {
+    fn default() -> Self {
+        PacketSeq::new()
+    }
+}
+
+impl Clone for PacketSeq {
+    fn clone(&self) -> Self {
+        // The clone starts with an unbuilt index: rebuilding on demand is
+        // cheaper than deep-copying a HashMap the clone may never query.
+        PacketSeq::from_ids(self.items.clone())
+    }
+}
+
+impl PartialEq for PacketSeq {
+    fn eq(&self, other: &Self) -> bool {
+        self.items == other.items
+    }
+}
+
+impl Eq for PacketSeq {}
+
+impl fmt::Debug for PacketSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PacketSeq")
+            .field("items", &self.items)
+            .finish()
     }
 }
 
@@ -273,6 +366,29 @@ mod tests {
     }
 
     #[test]
+    fn merge_into_matches_union() {
+        let cases: &[(Vec<PacketId>, Vec<PacketId>)] = &[
+            (vec![d(1), d(3), d(5)], vec![d(2), d(3), d(6)]),
+            (vec![], vec![d(1)]),
+            (vec![d(1)], vec![]),
+            (vec![d(5), d(11)], vec![d(1), par(&[7, 9, 11, 12])]),
+            (vec![d(1), d(1), d(2)], vec![d(1), d(7), d(7)]),
+        ];
+        for (a, b) in cases {
+            let a = PacketSeq::from_ids(a.clone());
+            let b = PacketSeq::from_ids(b.clone());
+            let by_union = a.union(&b);
+            let mut in_place = a.clone();
+            in_place.merge_into(&b);
+            assert_eq!(in_place, by_union, "{a} ∪ {b}");
+            // The index survives invalidation: queries still agree.
+            for id in by_union.iter() {
+                assert!(in_place.contains(id));
+            }
+        }
+    }
+
+    #[test]
     fn intersection_keeps_common_in_self_order() {
         let a = PacketSeq::from_ids(vec![d(5), d(1), d(3)]);
         let b = PacketSeq::from_ids(vec![d(1), d(5), d(9)]);
@@ -322,6 +438,22 @@ mod tests {
         let v = PacketSeq::from_ids(vec![d(1), d(2)]).union(&s);
         assert_eq!(v.ids(), &[d(1), d(2)]);
         assert_eq!(u.ids(), s.ids());
+    }
+
+    #[test]
+    fn index_tracks_push_and_first_occurrence() {
+        let mut s = PacketSeq::from_ids(vec![d(2), d(4), d(2)]);
+        // Build the index, then push through it.
+        assert_eq!(s.index_of(&d(2)), Some(0), "first occurrence wins");
+        assert!(!s.contains(&d(9)));
+        s.push(d(9));
+        s.push(d(2));
+        assert_eq!(s.index_of(&d(9)), Some(3));
+        assert_eq!(s.index_of(&d(2)), Some(0), "push keeps first occurrence");
+        // Push before any query also works.
+        let mut t = PacketSeq::new();
+        t.push(d(1));
+        assert!(t.contains(&d(1)));
     }
 
     #[test]

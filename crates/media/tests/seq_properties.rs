@@ -1,0 +1,168 @@
+//! Property tests for the indexed `PacketSeq`: the lazily-built
+//! position index must be invisible — every operation behaves exactly
+//! like the original scan-based implementation. `reference_union` below
+//! is a line-for-line copy of the seed algorithm (per-call hash set,
+//! two-pointer merge by readiness key) and every randomized case checks
+//! the production `union`/`merge_into` against it bit-for-bit.
+
+use proptest::prelude::*;
+
+use mss_media::packet::{PacketId, Seq};
+use mss_media::PacketSeq;
+
+/// The seed implementation's merge key: readiness index, data before
+/// parity at equal readiness, then coverage.
+fn merge_key(p: &PacketId) -> (u64, usize, &[Seq]) {
+    (p.max_seq().0, p.coverage_len(), p.coverage_slice())
+}
+
+/// The seed `union`: build a hash set of `self`, filter `other` through
+/// it, two-pointer merge preferring `self` on key ties.
+fn reference_union(a: &PacketSeq, b: &PacketSeq) -> PacketSeq {
+    let mine: std::collections::HashSet<&PacketId> = a.ids().iter().collect();
+    let mut merged: Vec<PacketId> = Vec::with_capacity(a.len() + b.len());
+    let mut xs = a.ids().iter().peekable();
+    let mut ys = b.ids().iter().filter(|p| !mine.contains(*p)).peekable();
+    loop {
+        match (xs.peek(), ys.peek()) {
+            (Some(x), Some(y)) => {
+                if merge_key(x) <= merge_key(y) {
+                    merged.push((*x).clone());
+                    xs.next();
+                } else {
+                    merged.push((*y).clone());
+                    ys.next();
+                }
+            }
+            (Some(_), None) => {
+                merged.extend(xs.by_ref().cloned());
+                break;
+            }
+            (None, Some(_)) => {
+                merged.extend(ys.by_ref().cloned());
+                break;
+            }
+            (None, None) => break,
+        }
+    }
+    PacketSeq::from_ids(merged)
+}
+
+/// A random mix of data and (possibly multi-coverage) parity packets,
+/// in readiness order like real schedules, with occasional repeats.
+fn arb_schedule() -> impl Strategy<Value = PacketSeq> {
+    proptest::collection::vec((1u64..40, 0usize..4, any::<bool>()), 0..30).prop_map(|specs| {
+        let mut ids: Vec<PacketId> = Vec::with_capacity(specs.len());
+        for (base, extra, repeat) in specs {
+            let id = if extra == 0 {
+                PacketId::Data(Seq(base))
+            } else {
+                let parts: Vec<PacketId> = (0..=extra as u64)
+                    .map(|k| PacketId::Data(Seq(base + k)))
+                    .collect();
+                match PacketId::parity_of(&parts) {
+                    Some(p) => p,
+                    None => PacketId::Data(Seq(base)),
+                }
+            };
+            if repeat {
+                if let Some(last) = ids.last().cloned() {
+                    ids.push(last);
+                }
+            }
+            ids.push(id);
+        }
+        ids.sort_by(|x, y| merge_key(x).cmp(&merge_key(y)));
+        PacketSeq::from_ids(ids)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `union` equals the seed implementation exactly, element for
+    /// element, on arbitrary schedule pairs.
+    #[test]
+    fn union_matches_seed_implementation(a in arb_schedule(), b in arb_schedule()) {
+        prop_assert_eq!(a.union(&b), reference_union(&a, &b), "a={} b={}", a, b);
+    }
+
+    /// In-place `merge_into` is the same operation as `union`.
+    #[test]
+    fn merge_into_matches_union(a in arb_schedule(), b in arb_schedule()) {
+        let mut m = a.clone();
+        m.merge_into(&b);
+        prop_assert_eq!(m, a.union(&b), "a={} b={}", a, b);
+    }
+
+    /// The union of distinct operands is readiness-ordered and distinct.
+    #[test]
+    fn union_is_readiness_ordered_and_distinct(a in arb_schedule(), b in arb_schedule()) {
+        // Drop repeats first: repeats within `self` are preserved by
+        // design, so distinctness is only promised for distinct inputs.
+        let dedup = |s: &PacketSeq| {
+            let mut seen = std::collections::HashSet::new();
+            s.iter().filter(|p| seen.insert((*p).clone())).cloned().collect::<PacketSeq>()
+        };
+        let (a, b) = (dedup(&a), dedup(&b));
+        let u = a.union(&b);
+        prop_assert!(u.is_distinct(), "union not distinct: {}", u);
+        for w in u.ids().windows(2) {
+            prop_assert!(
+                merge_key(&w[0]) <= merge_key(&w[1]),
+                "out of readiness order: {} before {}",
+                w[0], w[1]
+            );
+        }
+    }
+
+    /// As a set, union is commutative and covers exactly both operands.
+    #[test]
+    fn union_is_commutative_as_a_set(a in arb_schedule(), b in arb_schedule()) {
+        let sort = |s: &PacketSeq| {
+            let mut v = s.ids().to_vec();
+            v.sort_by(|x, y| merge_key(x).cmp(&merge_key(y)));
+            v.dedup();
+            v
+        };
+        prop_assert_eq!(sort(&a.union(&b)), sort(&b.union(&a)));
+        let u = a.union(&b);
+        for id in a.iter().chain(b.iter()) {
+            prop_assert!(u.contains(id), "{} lost from union", id);
+        }
+        for id in u.iter() {
+            prop_assert!(a.contains(id) || b.contains(id), "{} invented by union", id);
+        }
+    }
+
+    /// The index agrees with a linear scan for both hits and misses,
+    /// before and after pushes.
+    #[test]
+    fn index_agrees_with_linear_scan(s in arb_schedule(), probe in 1u64..50, push in 1u64..50) {
+        let mut s = s;
+        let probe_id = PacketId::Data(Seq(probe));
+        let scan = s.ids().iter().position(|p| p == &probe_id);
+        prop_assert_eq!(s.index_of(&probe_id), scan);
+        prop_assert_eq!(s.contains(&probe_id), scan.is_some());
+        let push_id = PacketId::Data(Seq(push));
+        s.push(push_id.clone());
+        let scan = s.ids().iter().position(|p| p == &push_id);
+        prop_assert_eq!(s.index_of(&push_id), scan, "index stale after push");
+    }
+
+    /// Intersection, prefix and postfix behave like the scan-based
+    /// originals (cross-checked against direct definitions).
+    #[test]
+    fn intersection_and_affixes_match_definitions(a in arb_schedule(), b in arb_schedule(), at in 0usize..35) {
+        let inter = a.intersection(&b);
+        let expect: Vec<PacketId> =
+            a.iter().filter(|p| b.ids().contains(p)).cloned().collect();
+        prop_assert_eq!(inter.ids(), expect.as_slice());
+        if let Some(t) = a.get(at.min(a.len().saturating_sub(1))).cloned() {
+            let i = a.ids().iter().position(|p| p == &t).unwrap();
+            prop_assert_eq!(a.prefix_through(&t).ids(), &a.ids()[..=i]);
+            prop_assert_eq!(a.postfix_from(&t).ids(), &a.ids()[i..]);
+        }
+        prop_assert_eq!(a.postfix_at(at).ids(), a.ids().get(at..).unwrap_or(&[]));
+    }
+}

@@ -1,5 +1,5 @@
 //! In-process threaded transport: every peer is an OS thread, messages
-//! travel over crossbeam channels.
+//! travel over `std::sync::mpsc` channels.
 //!
 //! This is the "real peers" counterpart to the simulator: the identical
 //! `mss-core` actors, driven by wall-clock timers and true concurrency.
@@ -8,10 +8,9 @@
 //! coordination volume), which the integration tests compare.
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use mss_core::config::{Protocol, SessionConfig};
 use mss_core::leaf::LeafActor;
@@ -132,7 +131,7 @@ impl ThreadedSession {
         let mut senders = Vec::with_capacity(total);
         let mut receivers = Vec::with_capacity(total);
         for _ in 0..total {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             senders.push(tx);
             receivers.push(rx);
         }

@@ -133,7 +133,7 @@ fn get_packet_id(buf: &mut impl Buf) -> Result<PacketId, CodecError> {
             let len = get_len(buf)?;
             need(buf, len * 8)?;
             let cover: Vec<Seq> = (0..len).map(|_| Seq(buf.get_u64_le())).collect();
-            Ok(PacketId::Parity(cover.into_boxed_slice()))
+            Ok(PacketId::Parity(cover.into()))
         }
         2 => {
             need(buf, 1)?;
@@ -142,7 +142,7 @@ fn get_packet_id(buf: &mut impl Buf) -> Result<PacketId, CodecError> {
             need(buf, len * 8)?;
             let seqs: Vec<Seq> = (0..len).map(|_| Seq(buf.get_u64_le())).collect();
             Ok(PacketId::RsParity {
-                seqs: seqs.into_boxed_slice(),
+                seqs: seqs.into(),
                 row,
             })
         }
@@ -612,7 +612,7 @@ mod tests {
     fn rs_parity_packet_roundtrip() {
         let content = ContentDesc::small(11, 20);
         let id = PacketId::RsParity {
-            seqs: vec![Seq(5), Seq(6), Seq(7)].into_boxed_slice(),
+            seqs: vec![Seq(5), Seq(6), Seq(7)].into(),
             row: 2,
         };
         let pkt = content.materialize(&id);

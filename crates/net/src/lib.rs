@@ -4,7 +4,7 @@
 //! answers "does it actually run on real transports?" — the same
 //! `mss-core` actors, unchanged, hosted on:
 //!
-//! - [`bus`]: one OS thread per peer, crossbeam channels in between
+//! - [`bus`]: one OS thread per peer, mpsc channels in between
 //!   ([`bus::ThreadedSession`]),
 //! - [`udp`]: one UDP loopback socket per peer, frames encoded by the
 //!   hand-rolled binary [`codec`] ([`udp::run_udp_session`]).

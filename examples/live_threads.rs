@@ -1,5 +1,5 @@
 //! The same DCoP state machines, running on real OS threads and real
-//! transports instead of the simulator — first over crossbeam channels,
+//! transports instead of the simulator — first over mpsc channels,
 //! then over UDP loopback sockets with the binary wire codec.
 //!
 //! ```text

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Full local verification: tier-1 (build + tests) plus lints and
+# formatting. Everything runs offline — the workspace has no external
+# dependencies (crates/compat/ vendors the few third-party APIs used),
+# so no network access or pre-populated registry cache is needed.
+#
+# Usage: scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Never touch the network, even if a registry is configured.
+export CARGO_NET_OFFLINE=true
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> full workspace tests"
+cargo test -q --workspace
+
+echo "==> clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> rustfmt check"
+cargo fmt --check
+
+echo "verify.sh: all checks passed"
