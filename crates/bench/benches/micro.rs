@@ -71,13 +71,13 @@ fn bench_seq(c: &mut Criterion) {
         });
         g.bench_with_input(BenchmarkId::new("merge_assignment", l), &l, |b, _| {
             let cur = TxSchedule {
-                seq: evens.clone(),
+                seq: evens.clone().into(),
                 pos: 0,
                 interval_nanos: 1_000,
                 first_delay_nanos: 1_000,
             };
             let inc = TxSchedule {
-                seq: odds.clone(),
+                seq: odds.clone().into(),
                 pos: 0,
                 interval_nanos: 2_000,
                 first_delay_nanos: 2_000,

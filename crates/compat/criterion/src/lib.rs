@@ -225,6 +225,12 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// `cargo bench -- --test` parity: run each benchmark exactly once to
+/// prove it executes, skipping warmup and sampling entirely.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 fn run_bench<R: FnMut(&mut Bencher)>(
     name: &str,
     sample_size: usize,
@@ -233,6 +239,15 @@ fn run_bench<R: FnMut(&mut Bencher)>(
     throughput: Option<Throughput>,
     mut routine: R,
 ) {
+    if test_mode() {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        println!("  {name:<40} ok (test mode)");
+        return;
+    }
     // Warmup: grow the iteration count until the warmup budget is spent,
     // which also calibrates iterations-per-sample.
     let mut iters: u64 = 1;

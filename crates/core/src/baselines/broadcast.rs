@@ -53,7 +53,7 @@ impl BroadcastPeer {
         self.heard += 1; // self
                          // Maximal redundancy: the whole data sequence at the content rate.
         let assignment = TxSchedule {
-            seq: PacketSeq::data_range(self.core.content().packets),
+            seq: Arc::new(PacketSeq::data_range(self.core.content().packets)),
             pos: 0,
             interval_nanos: req.interval_nanos,
             first_delay_nanos: req.interval_nanos,
@@ -61,7 +61,7 @@ impl BroadcastPeer {
         self.core.adopt(ctx, assignment);
         self.core.record_activation(ctx, req.wave);
         // Group-communication state exchange with every other peer.
-        let view = self.core.piggyback_view(&[]);
+        let view = Arc::new(self.core.piggyback_view(&[]));
         let empty = Arc::new(PacketSeq::new());
         let me = self.core.me;
         let peers: Vec<PeerId> = self.core.dir.peers().filter(|p| *p != me).collect();

@@ -34,7 +34,7 @@ impl SchedulePeer {
 
     fn on_assign(&mut self, ctx: &mut dyn Runtime<Msg>, a: ScheduleAssignment) {
         let assignment = TxSchedule {
-            seq: a.sched,
+            seq: std::sync::Arc::new(a.sched),
             pos: 0,
             interval_nanos: a.interval_nanos,
             first_delay_nanos: a.interval_nanos.saturating_mul(u64::from(a.part) + 1)

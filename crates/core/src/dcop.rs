@@ -107,20 +107,14 @@ impl DcopPeer {
         }
         let h = self.core.cfg.parity_interval;
         let parts = children.len() + 1; // children plus this parent
-        let view = self.core.piggyback_view(&children);
+        let view = Arc::new(self.core.piggyback_view(&children));
         // Divide the *effective* schedule: re-selecting before an earlier
         // division has switched must divide that division's own part,
         // never hand the same packets out twice.
         let (sched, pos, mark_delta, interval, basis_is_live) = {
             let was_pending = self.core.pending_switch.is_some();
             let (b, p, d) = self.core.effective_basis();
-            (
-                Arc::new(b.seq.clone()),
-                p as u32,
-                d,
-                b.interval_nanos,
-                !was_pending,
-            )
+            (b.seq.clone(), p as u32, d, b.interval_nanos, !was_pending)
         };
         for (j, child) in children.iter().enumerate() {
             let packet = ControlPacket {

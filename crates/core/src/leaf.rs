@@ -6,6 +6,8 @@
 //! rate, enforces its maximum receipt rate `ρ_s` through an optional
 //! [`OverrunGate`], and records when each data packet became playable.
 
+use std::sync::Arc;
+
 use mss_media::buffer::{OverrunGate, ReceiptMeter};
 use mss_media::parity::{div_all, enhance, Decoder, InsertOutcome};
 use mss_media::{PacketId, PacketSeq};
@@ -104,8 +106,9 @@ impl LeafActor {
             self.arm_repair(ctx);
             return;
         }
-        // Quiet and incomplete: request the missing packets.
-        let missing = self.missing_seqs(REPAIR_BATCH);
+        // Quiet and incomplete: request the missing packets. One shared
+        // batch; each fan-out target's Nack clone is a refcount bump.
+        let missing: Arc<[mss_media::Seq]> = self.missing_seqs(REPAIR_BATCH).into();
         if missing.is_empty() {
             return;
         }
@@ -140,9 +143,9 @@ impl LeafActor {
     }
 
     fn send_coord(&mut self, ctx: &mut dyn Runtime<Msg>, to: mss_sim::event::ActorId, msg: Msg) {
-        ctx.metrics().incr(mnames::COORD_MSGS);
+        ctx.metrics().incr_id(mnames::coord_msgs_id());
         ctx.metrics()
-            .add(mnames::COORD_BYTES, msg.wire_size() as u64);
+            .add_id(mnames::coord_bytes_id(), msg.wire_size() as u64);
         ctx.send(to, msg);
     }
 
@@ -164,7 +167,7 @@ impl LeafActor {
                 for p in &selected {
                     v.insert(*p);
                 }
-                Some(v)
+                Some(Arc::new(v))
             }
             Piggyback::SelectionsOnly => None,
         };
@@ -172,7 +175,7 @@ impl LeafActor {
         let parts = selected.len() as u32;
         // Heterogeneous mode: ship the selected peers' relative
         // bandwidths so each derives its §2-proportional share.
-        let weights: Option<Vec<u64>> = self
+        let weights: Option<Arc<[u64]>> = self
             .cfg
             .bandwidths
             .as_ref()

@@ -1,6 +1,10 @@
 //! Metric names recorded during a session and the consolidated
 //! [`SessionOutcome`] the harness consumes.
 
+use std::sync::OnceLock;
+
+use mss_sim::metrics::MetricId;
+
 use crate::config::Protocol;
 
 /// Every coordination message sent (requests, controls, probes, replies,
@@ -28,6 +32,26 @@ pub const COORD_FIXED_ROUNDS: &str = "coord.fixed_rounds";
 
 /// Data packets sent by contents peers.
 pub const DATA_MSGS: &str = "data.msgs";
+
+/// Interned slot id for [`COORD_MSGS`] (bumped on every coordination
+/// send — worth skipping the by-name lookup).
+pub fn coord_msgs_id() -> MetricId {
+    static ID: OnceLock<MetricId> = OnceLock::new();
+    *ID.get_or_init(|| mss_sim::metrics::register(COORD_MSGS))
+}
+
+/// Interned slot id for [`COORD_BYTES`].
+pub fn coord_bytes_id() -> MetricId {
+    static ID: OnceLock<MetricId> = OnceLock::new();
+    *ID.get_or_init(|| mss_sim::metrics::register(COORD_BYTES))
+}
+
+/// Interned slot id for [`DATA_MSGS`] (bumped on every data-packet
+/// transmission).
+pub fn data_msgs_id() -> MetricId {
+    static ID: OnceLock<MetricId> = OnceLock::new();
+    *ID.get_or_init(|| mss_sim::metrics::register(DATA_MSGS))
+}
 
 /// Consolidated result of one session run.
 #[derive(Clone, Debug)]

@@ -30,13 +30,14 @@ pub struct ContentRequest {
     /// Number of initial parts (= number of peers the leaf contacted).
     pub parts: u32,
     /// Under [`crate::config::Piggyback::FullView`], the set of initially
-    /// selected peers.
-    pub view: Option<View>,
+    /// selected peers. `Arc`-shared: the leaf builds the view once and
+    /// every per-peer request clone is O(1).
+    pub view: Option<Arc<View>>,
     /// Heterogeneous mode: relative bandwidths of the initially selected
     /// peers (indexed like `part`); the recipient derives its
     /// bandwidth-proportional share with the §2 allocator instead of the
-    /// uniform round-robin division.
-    pub weights: Option<Vec<u64>>,
+    /// uniform round-robin division. `Arc`-shared like `view`.
+    pub weights: Option<Arc<[u64]>>,
 }
 
 /// What role a [`ControlPacket`] plays.
@@ -65,7 +66,9 @@ pub struct ControlPacket {
     /// Activation wave this packet belongs to (leaf = wave 1).
     pub wave: u32,
     /// Sender's view `VW_j` (contents depend on the piggyback variant).
-    pub view: View,
+    /// Shared via `Arc` like `sched`: a fan-out builds the view once and
+    /// each per-child clone is a refcount bump, not a bitset copy.
+    pub view: Arc<View>,
     /// The parent's current schedule — the basis for the child's postfix
     /// computation. Carried as a recipe on the wire (see module docs);
     /// shared via `Arc` so fanning out to many children is cheap.
@@ -157,8 +160,9 @@ pub struct ScheduleAssignment {
 /// packets (repair extension; see `config::RepairConfig`).
 #[derive(Clone, Debug)]
 pub struct Nack {
-    /// Missing data sequence numbers (bounded per round).
-    pub seqs: Vec<mss_media::Seq>,
+    /// Missing data sequence numbers (bounded per round). `Arc`-shared so
+    /// the leaf's repair fan-out clones the batch O(1) per target.
+    pub seqs: Arc<[mss_media::Seq]>,
 }
 
 /// Everything that can travel in a session.
@@ -198,7 +202,7 @@ impl SimMessage for Msg {
         match self {
             // wave + interval + h/H/part/parts + optional view.
             Msg::Request(r) => {
-                24 + r.view.as_ref().map_or(0, view_bytes)
+                24 + r.view.as_deref().map_or(0, view_bytes)
                     + r.weights.as_ref().map_or(0, |w| 8 * w.len())
             }
             // kind + ids + wave + recipe (pos, interval, part, parts, h,
@@ -228,7 +232,7 @@ mod tests {
             kind,
             from: PeerId(0),
             wave: 1,
-            view: View::empty(n),
+            view: Arc::new(View::empty(n)),
             sched: Arc::new(PacketSeq::data_range(10)),
             pos: 0,
             interval_nanos: 1000,
@@ -286,7 +290,7 @@ mod tests {
     #[test]
     fn nack_wire_size_scales_with_seqs() {
         let small = Msg::Nack(crate::msg::Nack {
-            seqs: vec![mss_media::Seq(1)],
+            seqs: vec![mss_media::Seq(1)].into(),
         });
         let big = Msg::Nack(crate::msg::Nack {
             seqs: (1..=100).map(mss_media::Seq).collect(),
@@ -308,7 +312,7 @@ mod tests {
             weights: None,
         };
         let mut weighted = base.clone();
-        weighted.weights = Some(vec![1, 2, 3, 4]);
+        weighted.weights = Some(vec![1, 2, 3, 4].into());
         assert_eq!(
             Msg::Request(weighted).wire_size(),
             Msg::Request(base).wire_size() + 32

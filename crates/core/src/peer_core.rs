@@ -123,9 +123,9 @@ impl Core {
     /// counters.
     pub fn send_coord(&mut self, ctx: &mut dyn Runtime<Msg>, to: ActorId, msg: Msg) {
         debug_assert!(msg.is_coordination());
-        ctx.metrics().incr(mnames::COORD_MSGS);
+        ctx.metrics().incr_id(mnames::coord_msgs_id());
         ctx.metrics()
-            .add(mnames::COORD_BYTES, msg.wire_size() as u64);
+            .add_id(mnames::coord_bytes_id(), msg.wire_size() as u64);
         ctx.send(to, msg);
     }
 
@@ -265,7 +265,7 @@ impl Core {
         self.sched.pos += 1;
         self.sent += 1;
         let packet = self.cfg.content.materialize(&id);
-        ctx.metrics().incr(mnames::DATA_MSGS);
+        ctx.metrics().incr_id(mnames::data_msgs_id());
         let leaf = self.dir.leaf();
         ctx.send(
             leaf,
@@ -285,7 +285,7 @@ impl Core {
         }
         ctx.metrics().incr("repair.requests");
         let leaf = self.dir.leaf();
-        for &seq in &nack.seqs {
+        for &seq in nack.seqs.iter() {
             if seq.0 == 0 || seq.0 > self.cfg.content.packets {
                 continue;
             }
@@ -294,7 +294,7 @@ impl Core {
                 .content
                 .materialize(&mss_media::PacketId::Data(seq));
             ctx.metrics().incr("repair.packets");
-            ctx.metrics().incr(mnames::DATA_MSGS);
+            ctx.metrics().incr_id(mnames::data_msgs_id());
             self.sent += 1;
             ctx.send(
                 leaf,

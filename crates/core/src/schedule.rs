@@ -8,8 +8,10 @@
 //! parity overhead `(h+1)/h`. Whether that overhead compounds with tree
 //! depth is governed by [`Reenhance`].
 
-use mss_media::parity::{div, enhance, Coding};
-use mss_media::PacketSeq;
+use std::sync::Arc;
+
+use mss_media::parity::{div, div_ids, enhance, Coding};
+use mss_media::{PacketId, PacketSeq};
 
 use crate::config::Reenhance;
 
@@ -25,8 +27,11 @@ use crate::config::Reenhance;
 /// interchangeable.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TxSchedule {
-    /// Packets to send, in order.
-    pub seq: PacketSeq,
+    /// Packets to send, in order. Behind `Arc`: a schedule, once derived,
+    /// is immutable (updates replace the whole sequence), so sharing the
+    /// division basis into control packets and clones of the live
+    /// schedule are refcount bumps instead of O(|sched|) copies.
+    pub seq: Arc<PacketSeq>,
     /// Index of the next packet to send.
     pub pos: usize,
     /// Nanoseconds between consecutive packet transmissions; `0` and
@@ -44,7 +49,7 @@ impl TxSchedule {
     /// An empty, idle schedule.
     pub fn idle() -> TxSchedule {
         TxSchedule {
-            seq: PacketSeq::new(),
+            seq: Arc::new(PacketSeq::new()),
             pos: 0,
             interval_nanos: u64::MAX,
             first_delay_nanos: u64::MAX,
@@ -143,7 +148,7 @@ pub fn initial_assignment_opts(
         / enhanced.len().max(1) as u128)
         .max(1) as u64;
     TxSchedule {
-        seq: div(&enhanced, parts, part),
+        seq: Arc::new(div(&enhanced, parts, part)),
         pos: 0,
         interval_nanos: slot.saturating_mul(parts as u64),
         first_delay_nanos: slot.saturating_mul(part as u64 + 1),
@@ -199,7 +204,7 @@ pub fn weighted_initial_assignment(
     let interval = (window / count).max(1) as u64;
     let first_delay = ((window * mine[0] as u128) / e as u128).max(1) as u64;
     TxSchedule {
-        seq,
+        seq: Arc::new(seq),
         pos: 0,
         interval_nanos: interval,
         first_delay_nanos: first_delay,
@@ -272,13 +277,17 @@ pub fn derived_assignment_opts(
     coding: Coding,
 ) -> TxSchedule {
     let mark = mark_position(pos_at_send, parent_interval_nanos, delta_nanos);
-    let postfix = parent_sched.postfix_at(mark);
+    // Work on the postfix as a borrowed slice of the parent's schedule:
+    // deriving happens on every control-packet receipt, and materializing
+    // a PacketSeq copy here would be the single largest cost of the whole
+    // coordination hot path.
+    let postfix: &[PacketId] = parent_sched.ids().get(mark..).unwrap_or(&[]);
     if mode == Reenhance::None {
         if postfix.is_empty() {
             return TxSchedule::idle();
         }
         return TxSchedule {
-            seq: div(&postfix, parts, part),
+            seq: Arc::new(div_ids(postfix, parts, part)),
             pos: 0,
             interval_nanos: parent_interval_nanos.saturating_mul(parts as u64),
             first_delay_nanos: parent_interval_nanos.saturating_mul(part as u64 + 1),
@@ -286,19 +295,39 @@ pub fn derived_assignment_opts(
     }
     let basis = match mode {
         Reenhance::None => unreachable!("handled above"),
-        Reenhance::Nested => postfix.clone(),
+        Reenhance::Nested => PacketSeq::from_ids(postfix.to_vec()),
         // Distinct data packets only: parity is regenerated fresh, and
         // `h = 1` duplicates (parity of a single packet IS that packet)
         // must not multiply across division levels.
         Reenhance::DataOnly => {
-            let mut seen = std::collections::HashSet::new();
-            PacketSeq::from_ids(
-                postfix
-                    .iter()
-                    .filter(|p| p.is_data() && seen.insert((*p).clone()))
-                    .cloned()
-                    .collect(),
-            )
+            // Enhanced/divided schedules keep data seqs strictly
+            // ascending, so one ordered pass usually proves distinctness;
+            // only out-of-order postfixes (multi-parent merges) pay for a
+            // dedup set.
+            let mut data: Vec<PacketId> = Vec::with_capacity(postfix.len());
+            let mut last = 0u64; // data seqs start at 1
+            let mut ascending = true;
+            for p in postfix {
+                if let PacketId::Data(s) = p {
+                    if s.0 <= last {
+                        ascending = false;
+                        break;
+                    }
+                    last = s.0;
+                    data.push(p.clone());
+                }
+            }
+            if !ascending {
+                data.clear();
+                let mut seen = mss_media::fxhash::FxHashSet::default();
+                data.extend(
+                    postfix
+                        .iter()
+                        .filter(|p| matches!(p, PacketId::Data(s) if seen.insert(s.0)))
+                        .cloned(),
+                );
+            }
+            PacketSeq::from_ids(data)
         }
     };
     let enhanced = enhance(&basis, h, tail_parity, coding);
@@ -308,7 +337,7 @@ pub fn derived_assignment_opts(
     let slot = (parent_interval_nanos as u128 * postfix.len() as u128 / enhanced.len() as u128)
         .max(1) as u64;
     TxSchedule {
-        seq: div(&enhanced, parts, part),
+        seq: Arc::new(div(&enhanced, parts, part)),
         pos: 0,
         interval_nanos: slot.saturating_mul(parts as u64),
         first_delay_nanos: slot.saturating_mul(part as u64 + 1),
@@ -325,7 +354,7 @@ pub fn merge_assignment(current: &TxSchedule, incoming: &TxSchedule) -> TxSchedu
     seq.merge_into(&incoming.seq);
     let interval = harmonic_interval(current.interval_nanos, incoming.interval_nanos);
     TxSchedule {
-        seq,
+        seq: Arc::new(seq),
         pos: 0,
         interval_nanos: interval,
         first_delay_nanos: current
@@ -435,7 +464,7 @@ mod tests {
         cur.pos = 3;
         let unsent_first = cur.seq.get(3).cloned().unwrap();
         let incoming = TxSchedule {
-            seq: PacketSeq::from_ids(vec![PacketId::Data(Seq(99))]),
+            seq: PacketSeq::from_ids(vec![PacketId::Data(Seq(99))]).into(),
             pos: 0,
             interval_nanos: 500,
             first_delay_nanos: 500,
@@ -475,7 +504,7 @@ mod tests {
         for sentinel in [0u64, u64::MAX] {
             assert!(idle_interval(sentinel));
             let s = TxSchedule {
-                seq: PacketSeq::data_range(4),
+                seq: PacketSeq::data_range(4).into(),
                 pos: 0,
                 interval_nanos: sentinel,
                 first_delay_nanos: 100,

@@ -125,6 +125,10 @@ impl Session {
         } = self;
         let mut world: World<Msg> = World::new(link, cfg.seed);
         let n = cfg.n;
+        // Each data packet is at least one send + one delivery event, plus
+        // per-peer timer churn; pre-reserving avoids repeated heap growth
+        // in the event queue during the streaming phase.
+        world.reserve_events(cfg.content.packets as usize * 2 + n * 8);
         let dir = Directory::new((0..n as u32).map(ActorId).collect(), ActorId(n as u32));
         for i in 0..n {
             let me = PeerId(i as u32);

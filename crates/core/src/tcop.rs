@@ -103,7 +103,7 @@ impl TcopPeer {
         // One probe round = 3 protocol rounds; track the deepest round.
         ctx.metrics()
             .set_max(mnames::COORD_PROBE_WAVES, u64::from(child_wave - 1));
-        let view = self.core.piggyback_view(&candidates);
+        let view = Arc::new(self.core.piggyback_view(&candidates));
         let empty_sched = Arc::new(mss_media::PacketSeq::new());
         for child in &candidates {
             let probe = ControlPacket {
@@ -197,17 +197,11 @@ impl TcopPeer {
         } else {
             self.core.cfg.parity_interval
         };
-        let view = self.core.piggyback_view(&round.accepted);
+        let view = Arc::new(self.core.piggyback_view(&round.accepted));
         let (sched, pos, mark_delta, interval, basis_is_live) = {
             let was_pending = self.core.pending_switch.is_some();
             let (b, p, d) = self.core.effective_basis();
-            (
-                Arc::new(b.seq.clone()),
-                p as u32,
-                d,
-                b.interval_nanos,
-                !was_pending,
-            )
+            (b.seq.clone(), p as u32, d, b.interval_nanos, !was_pending)
         };
         for (j, child) in round.accepted.iter().enumerate() {
             let commit = ControlPacket {

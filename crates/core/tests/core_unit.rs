@@ -111,7 +111,7 @@ fn switch_applies_at_mark_not_before() {
     c.adopt(&mut rt, initial_assignment(40, 1, 1, 0, 1000));
     c.active = true;
     let next = TxSchedule {
-        seq: PacketSeq::from_ids(vec![mss_media::PacketId::Data(Seq(39))]),
+        seq: PacketSeq::from_ids(vec![mss_media::PacketId::Data(Seq(39))]).into(),
         pos: 0,
         interval_nanos: 500,
         first_delay_nanos: 500,
@@ -139,7 +139,7 @@ fn switch_timer_forces_when_no_data_plane() {
     let mut rt = MockRt::new();
     c.adopt(&mut rt, initial_assignment(40, 1, 1, 0, 1000));
     let next = TxSchedule {
-        seq: PacketSeq::from_ids(vec![mss_media::PacketId::Data(Seq(7))]),
+        seq: PacketSeq::from_ids(vec![mss_media::PacketId::Data(Seq(7))]).into(),
         pos: 0,
         interval_nanos: 500,
         first_delay_nanos: 500,
@@ -160,7 +160,7 @@ fn nack_retransmits_exactly_the_asked_packets() {
     c.on_nack(
         &mut rt,
         &Nack {
-            seqs: vec![Seq(3), Seq(9), Seq(0), Seq(999)], // 0 and 999 invalid
+            seqs: vec![Seq(3), Seq(9), Seq(0), Seq(999)].into(), // 0 and 999 invalid
         },
     );
     assert_eq!(rt.sent.len(), 2, "only valid seqs retransmitted");
@@ -179,7 +179,12 @@ fn nack_is_ignored_without_data_plane() {
     let mut c = core();
     c.cfg.data_plane = false;
     let mut rt = MockRt::new();
-    c.on_nack(&mut rt, &Nack { seqs: vec![Seq(1)] });
+    c.on_nack(
+        &mut rt,
+        &Nack {
+            seqs: vec![Seq(1)].into(),
+        },
+    );
     assert!(rt.sent.is_empty());
 }
 

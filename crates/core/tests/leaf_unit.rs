@@ -162,7 +162,7 @@ fn quiet_incomplete_stream_triggers_nacks() {
     assert_eq!(nacks.len(), 2, "NACK fanout = 2");
     if let Msg::Nack(n) = nacks[0] {
         let want: Vec<Seq> = (11..=20).map(Seq).collect();
-        assert_eq!(n.seqs, want, "exactly the missing seqs");
+        assert_eq!(n.seqs.as_ref(), &want[..], "exactly the missing seqs");
     }
 }
 

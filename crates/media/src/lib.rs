@@ -50,6 +50,7 @@
 
 pub mod buffer;
 pub mod content;
+pub mod fxhash;
 pub mod gf256;
 pub mod packet;
 pub mod parity;

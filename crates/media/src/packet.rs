@@ -70,14 +70,28 @@ impl PacketId {
         if parts.iter().any(|p| matches!(p, PacketId::RsParity { .. })) {
             return None;
         }
-        let mut cover: Vec<Seq> = Vec::new();
-        for p in parts {
-            for &s in p.coverage_slice() {
-                match cover.binary_search(&s) {
-                    Ok(i) => {
-                        cover.remove(i);
+        // Fast path: a segment of strictly ascending data packets (the
+        // shape every `Esq` segment has) IS its own sorted coverage —
+        // no symmetric-difference bookkeeping needed.
+        let mut cover: Vec<Seq> = Vec::with_capacity(parts.len());
+        let ascending_data = parts.iter().all(|p| match p {
+            PacketId::Data(s) => {
+                let ok = cover.last().is_none_or(|last| last < s);
+                cover.push(*s);
+                ok
+            }
+            _ => false,
+        });
+        if !ascending_data {
+            cover.clear();
+            for p in parts {
+                for &s in p.coverage_slice() {
+                    match cover.binary_search(&s) {
+                        Ok(i) => {
+                            cover.remove(i);
+                        }
+                        Err(i) => cover.insert(i, s),
                     }
-                    Err(i) => cover.insert(i, s),
                 }
             }
         }

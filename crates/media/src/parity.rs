@@ -156,11 +156,16 @@ fn rs_enhance(pkt: &PacketSeq, h: usize, r: u8, tail_parity: bool) -> PacketSeq 
 /// The paper indexes subsequences from 1 (`i = j mod H + 1`); we use the
 /// 0-based equivalent.
 pub fn div(pkt: &PacketSeq, parts: usize, i: usize) -> PacketSeq {
+    div_ids(pkt.ids(), parts, i)
+}
+
+/// [`div`] over a raw id slice — lets callers divide a postfix of a
+/// larger schedule without materializing the postfix first.
+pub fn div_ids(ids: &[PacketId], parts: usize, i: usize) -> PacketSeq {
     assert!(parts >= 1, "division into zero parts");
     assert!(i < parts, "part index {i} out of range for {parts} parts");
     PacketSeq::from_ids(
-        pkt.ids()
-            .iter()
+        ids.iter()
             .enumerate()
             .filter(|(j, _)| j % parts == i)
             .map(|(_, p)| p.clone())

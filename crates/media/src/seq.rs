@@ -21,10 +21,10 @@
 //! (`union`, `intersection`, in-place [`PacketSeq::merge_into`]) reuse
 //! it instead of materializing a fresh hash set per call.
 
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::OnceLock;
 
+use crate::fxhash::FxHashMap;
 use crate::packet::{PacketId, Seq};
 
 /// An ordered sequence of distinct packets (a transmission schedule).
@@ -32,7 +32,7 @@ pub struct PacketSeq {
     items: Vec<PacketId>,
     /// Packet id → first position in `items`, built on first query.
     /// Always either unset or exactly consistent with `items`.
-    index: OnceLock<HashMap<PacketId, u32>>,
+    index: OnceLock<FxHashMap<PacketId, u32>>,
 }
 
 /// Sort key used when merging schedules: readiness index first, data
@@ -67,10 +67,10 @@ impl PacketSeq {
     }
 
     /// The id → first-position index, building it on first use.
-    fn index(&self) -> &HashMap<PacketId, u32> {
+    fn index(&self) -> &FxHashMap<PacketId, u32> {
         self.index.get_or_init(|| {
             debug_assert!(self.items.len() <= u32::MAX as usize);
-            let mut m = HashMap::with_capacity(self.items.len());
+            let mut m = FxHashMap::with_capacity_and_hasher(self.items.len(), Default::default());
             for (i, p) in self.items.iter().enumerate() {
                 m.entry(p.clone()).or_insert(i as u32);
             }

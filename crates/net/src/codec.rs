@@ -197,7 +197,7 @@ fn get_control(buf: &mut impl Buf) -> Result<ControlPacket, CodecError> {
     };
     let from = PeerId(buf.get_u32_le());
     let wave = buf.get_u32_le();
-    let view = get_view(buf)?;
+    let view = Arc::new(get_view(buf)?);
     let sched = Arc::new(get_seq(buf)?);
     need(buf, 4 + 8 + 8 + 16)?;
     Ok(ControlPacket {
@@ -240,7 +240,7 @@ pub fn encode(from: ActorId, msg: &Msg) -> Bytes {
                 Some(w) => {
                     out.put_u8(1);
                     out.put_u32_le(w.len() as u32);
-                    for x in w {
+                    for x in w.iter() {
                         out.put_u64_le(*x);
                     }
                 }
@@ -301,7 +301,7 @@ pub fn encode(from: ActorId, msg: &Msg) -> Bytes {
         Msg::Nack(n) => {
             out.put_u8(6);
             out.put_u32_le(n.seqs.len() as u32);
-            for s in &n.seqs {
+            for s in n.seqs.iter() {
                 out.put_u64_le(s.0);
             }
         }
@@ -325,7 +325,7 @@ pub fn decode(frame: &[u8]) -> Result<(ActorId, Msg), CodecError> {
             let parts = buf.get_u32_le();
             need(&buf, 1)?;
             let view = if buf.get_u8() == 1 {
-                Some(get_view(&mut buf)?)
+                Some(Arc::new(get_view(&mut buf)?))
             } else {
                 None
             };
@@ -454,8 +454,8 @@ mod tests {
             fanout: 4,
             part: 2,
             parts: 4,
-            view: Some(view_of(10, &[0, 3, 9])),
-            weights: Some(vec![4, 2, 1, 9]),
+            view: Some(Arc::new(view_of(10, &[0, 3, 9]))),
+            weights: Some(vec![4, 2, 1, 9].into()),
         });
         match roundtrip(msg) {
             Msg::Request(r) => {
@@ -464,7 +464,7 @@ mod tests {
                 let v = r.view.unwrap();
                 assert!(v.contains(PeerId(9)) && !v.contains(PeerId(1)));
                 assert_eq!(v.count(), 3);
-                assert_eq!(r.weights.unwrap(), vec![4, 2, 1, 9]);
+                assert_eq!(r.weights.unwrap().as_ref(), &[4, 2, 1, 9][..]);
             }
             other => panic!("wrong variant {other:?}"),
         }
@@ -498,7 +498,7 @@ mod tests {
             kind: ControlKind::Commit,
             from: PeerId(5),
             wave: 3,
-            view: view_of(70, &[64, 69]),
+            view: Arc::new(view_of(70, &[64, 69])),
             sched: Arc::new(sched.clone()),
             pos: 4,
             interval_nanos: 99,
@@ -629,10 +629,10 @@ mod tests {
     #[test]
     fn nack_roundtrip() {
         let msg = Msg::Nack(Nack {
-            seqs: vec![Seq(3), Seq(99), Seq(100_000)],
+            seqs: vec![Seq(3), Seq(99), Seq(100_000)].into(),
         });
         match roundtrip(msg) {
-            Msg::Nack(n) => assert_eq!(n.seqs, vec![Seq(3), Seq(99), Seq(100_000)]),
+            Msg::Nack(n) => assert_eq!(n.seqs.as_ref(), &[Seq(3), Seq(99), Seq(100_000)][..]),
             other => panic!("wrong variant {other:?}"),
         }
     }

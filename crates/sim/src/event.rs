@@ -102,6 +102,20 @@ impl<M> EventQueue<M> {
         Self::default()
     }
 
+    /// Empty queue with room for `cap` events before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+        }
+    }
+
+    /// Reserve room for at least `additional` more events, so bursty
+    /// fan-outs don't regrow the heap mid-dispatch.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
     /// Schedule `event` at absolute time `at`.
     pub fn push(&mut self, at: SimTime, event: Event<M>) {
         let seq = self.next_seq;

@@ -1,10 +1,23 @@
 //! Run-wide metric collection: named counters and histograms.
 //!
 //! Actors and the scheduler record into a single [`Metrics`] sink; the
-//! experiment harness reads it after a run. Names are free-form strings;
-//! well-known names used by the kernel itself are exposed as constants.
+//! experiment harness reads it after a run.
+//!
+//! Internally every metric name is interned once, process-wide, into a
+//! [`MetricId`] — a dense index into per-sink slot arrays — so the hot
+//! dispatch path never hashes or compares strings and never allocates.
+//! The kernel's own counters occupy fixed, compile-time-known slots
+//! (`NET_SENT_ID` …); protocol and harness counters obtain ids through
+//! [`register`]. The original string-keyed API (`add`, `incr`,
+//! [`Metrics::counter`], …) remains as a thin layer over the intern
+//! table, so harness extraction and table/CSV emitters are unchanged.
+//!
+//! Because the intern table is global, the same name maps to the same
+//! slot in every sink, which makes [`Metrics::merge`] a plain slot-wise
+//! addition — including across threads.
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::sync::{OnceLock, RwLock};
 
 use crate::hist::Histogram;
 
@@ -19,11 +32,108 @@ pub const NET_TO_DEAD: &str = "net.to_dead";
 /// Total bytes handed to the link model.
 pub const NET_BYTES_SENT: &str = "net.bytes_sent";
 
+/// A process-wide handle for one metric name (see [`register`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct MetricId(u32);
+
+/// Fixed slot of [`NET_SENT`].
+pub const NET_SENT_ID: MetricId = MetricId(0);
+/// Fixed slot of [`NET_DROPPED`].
+pub const NET_DROPPED_ID: MetricId = MetricId(1);
+/// Fixed slot of [`NET_DELIVERED`].
+pub const NET_DELIVERED_ID: MetricId = MetricId(2);
+/// Fixed slot of [`NET_TO_DEAD`].
+pub const NET_TO_DEAD_ID: MetricId = MetricId(3);
+/// Fixed slot of [`NET_BYTES_SENT`].
+pub const NET_BYTES_SENT_ID: MetricId = MetricId(4);
+
+/// Names of the fixed kernel slots, in id order.
+const FIXED: [&str; 5] = [
+    NET_SENT,
+    NET_DROPPED,
+    NET_DELIVERED,
+    NET_TO_DEAD,
+    NET_BYTES_SENT,
+];
+
+impl MetricId {
+    /// Slot index (dense, process-wide).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The interned name this id stands for.
+    pub fn name(self) -> &'static str {
+        let t = table().read().expect("metric intern table poisoned");
+        t.names[self.index()]
+    }
+}
+
+/// The process-wide name ↔ id table. Ids are assigned in registration
+/// order after the fixed kernel slots; registered names live for the
+/// whole process (they are leaked once).
+struct Interner {
+    by_name: HashMap<&'static str, MetricId>,
+    names: Vec<&'static str>,
+}
+
+fn table() -> &'static RwLock<Interner> {
+    static TABLE: OnceLock<RwLock<Interner>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut by_name = HashMap::with_capacity(FIXED.len() * 4);
+        let mut names = Vec::with_capacity(FIXED.len() * 4);
+        for name in FIXED {
+            by_name.insert(name, MetricId(names.len() as u32));
+            names.push(name);
+        }
+        RwLock::new(Interner { by_name, names })
+    })
+}
+
+/// Intern `name`, returning its process-wide [`MetricId`]. Idempotent;
+/// the id can be cached and reused across sinks and threads. A name is
+/// leaked the first time it is registered (metric name sets are small
+/// and fixed in practice).
+pub fn register(name: &str) -> MetricId {
+    if let Some(id) = lookup(name) {
+        return id;
+    }
+    let mut t = table().write().expect("metric intern table poisoned");
+    if let Some(&id) = t.by_name.get(name) {
+        return id;
+    }
+    let name: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    let id = MetricId(t.names.len() as u32);
+    t.names.push(name);
+    t.by_name.insert(name, id);
+    id
+}
+
+/// Id of an already-registered name, without registering it.
+fn lookup(name: &str) -> Option<MetricId> {
+    let t = table().read().expect("metric intern table poisoned");
+    t.by_name.get(name).copied()
+}
+
 /// Named counters and histograms for one simulation run.
+///
+/// Slots are indexed by [`MetricId`]; `None` means "never written", so
+/// only metrics a run actually touched appear in iteration — same
+/// observable behaviour as the original map-backed sink.
 #[derive(Default)]
 pub struct Metrics {
-    counters: BTreeMap<String, u64>,
-    hists: BTreeMap<String, Histogram>,
+    counters: Vec<Option<u64>>,
+    hists: Vec<Option<Histogram>>,
+}
+
+#[inline]
+fn slot<T>(v: &mut Vec<Option<T>>, id: MetricId) -> &mut Option<T> {
+    let i = id.index();
+    if i >= v.len() {
+        v.resize_with(i + 1, || None);
+    }
+    &mut v[i]
 }
 
 impl Metrics {
@@ -32,13 +142,62 @@ impl Metrics {
         Self::default()
     }
 
+    // ---- id-indexed fast path (no hashing, no locks) ----
+
+    /// Add `v` to the counter in slot `id` (creating it at zero).
+    #[inline]
+    pub fn add_id(&mut self, id: MetricId, v: u64) {
+        let s = slot(&mut self.counters, id);
+        *s = Some(s.unwrap_or(0) + v);
+    }
+
+    /// Increment the counter in slot `id` by one.
+    #[inline]
+    pub fn incr_id(&mut self, id: MetricId) {
+        self.add_id(id, 1);
+    }
+
+    /// Overwrite the counter in slot `id` with `v`.
+    #[inline]
+    pub fn set_id(&mut self, id: MetricId, v: u64) {
+        *slot(&mut self.counters, id) = Some(v);
+    }
+
+    /// Raise the counter in slot `id` to `v` if larger (running maximum).
+    #[inline]
+    pub fn set_max_id(&mut self, id: MetricId, v: u64) {
+        let s = slot(&mut self.counters, id);
+        *s = Some(s.map_or(v, |c| c.max(v)));
+    }
+
+    /// Current value of the counter in slot `id` (0 if never written).
+    #[inline]
+    pub fn counter_id(&self, id: MetricId) -> u64 {
+        self.counters
+            .get(id.index())
+            .copied()
+            .flatten()
+            .unwrap_or(0)
+    }
+
+    /// Record a sample into the histogram in slot `id`.
+    #[inline]
+    pub fn record_id(&mut self, id: MetricId, v: u64) {
+        slot(&mut self.hists, id)
+            .get_or_insert_with(Histogram::new)
+            .record(v);
+    }
+
+    /// Histogram in slot `id`, if any sample was recorded.
+    pub fn histogram_id(&self, id: MetricId) -> Option<&Histogram> {
+        self.hists.get(id.index()).and_then(|h| h.as_ref())
+    }
+
+    // ---- string compatibility layer over the intern table ----
+
     /// Add `v` to counter `name` (creating it at zero).
     pub fn add(&mut self, name: &str, v: u64) {
-        if let Some(c) = self.counters.get_mut(name) {
-            *c += v;
-        } else {
-            self.counters.insert(name.to_owned(), v);
-        }
+        self.add_id(register(name), v);
     }
 
     /// Increment counter `name` by one.
@@ -49,63 +208,78 @@ impl Metrics {
 
     /// Overwrite counter `name` with `v`.
     pub fn set(&mut self, name: &str, v: u64) {
-        if let Some(c) = self.counters.get_mut(name) {
-            *c = v;
-        } else {
-            self.counters.insert(name.to_owned(), v);
-        }
+        self.set_id(register(name), v);
     }
 
     /// Raise counter `name` to `v` if `v` is larger (running maximum).
     pub fn set_max(&mut self, name: &str, v: u64) {
-        if let Some(c) = self.counters.get_mut(name) {
-            *c = (*c).max(v);
-        } else {
-            self.counters.insert(name.to_owned(), v);
-        }
+        self.set_max_id(register(name), v);
     }
 
-    /// Current value of counter `name` (0 if never written).
+    /// Current value of counter `name` (0 if never written). Read-only:
+    /// does not register the name.
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        lookup(name).map_or(0, |id| self.counter_id(id))
     }
 
     /// Record a sample into histogram `name` (creating it if needed).
     pub fn record(&mut self, name: &str, v: u64) {
-        if let Some(h) = self.hists.get_mut(name) {
-            h.record(v);
-        } else {
-            let mut h = Histogram::new();
-            h.record(v);
-            self.hists.insert(name.to_owned(), h);
-        }
+        self.record_id(register(name), v);
     }
 
-    /// Histogram `name`, if any sample was recorded.
+    /// Histogram `name`, if any sample was recorded. Read-only: does not
+    /// register the name.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
-        self.hists.get(name)
+        lookup(name).and_then(|id| self.histogram_id(id))
     }
 
     /// Iterate counters in name order.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+        let t = table().read().expect("metric intern table poisoned");
+        let mut out: Vec<(&'static str, u64)> = self
+            .counters
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.map(|v| (t.names[i], v)))
+            .collect();
+        out.sort_unstable_by_key(|&(name, _)| name);
+        out.into_iter()
     }
 
     /// Iterate histograms in name order.
     pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
-        self.hists.iter().map(|(k, v)| (k.as_str(), v))
+        let t = table().read().expect("metric intern table poisoned");
+        let mut out: Vec<(&'static str, &Histogram)> = self
+            .hists
+            .iter()
+            .enumerate()
+            .filter_map(|(i, h)| h.as_ref().map(|h| (t.names[i], h)))
+            .collect();
+        out.sort_unstable_by_key(|&(name, _)| name);
+        out.into_iter()
     }
 
     /// Fold another sink into this one (counters add, histograms merge).
+    /// Pure slot-wise addition — ids are process-global, so no name
+    /// lookups or allocations happen here.
     pub fn merge(&mut self, other: &Metrics) {
-        for (k, &v) in &other.counters {
-            self.add(k, v);
+        if self.counters.len() < other.counters.len() {
+            self.counters.resize_with(other.counters.len(), || None);
         }
-        for (k, h) in &other.hists {
-            if let Some(mine) = self.hists.get_mut(k) {
-                mine.merge(h);
-            } else {
-                self.hists.insert(k.clone(), h.clone());
+        for (mine, theirs) in self.counters.iter_mut().zip(&other.counters) {
+            if let Some(v) = theirs {
+                *mine = Some(mine.unwrap_or(0) + v);
+            }
+        }
+        if self.hists.len() < other.hists.len() {
+            self.hists.resize_with(other.hists.len(), || None);
+        }
+        for (mine, theirs) in self.hists.iter_mut().zip(&other.hists) {
+            if let Some(h) = theirs {
+                match mine {
+                    Some(m) => m.merge(h),
+                    None => *mine = Some(h.clone()),
+                }
             }
         }
     }
@@ -120,10 +294,10 @@ impl Metrics {
 impl std::fmt::Debug for Metrics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let mut d = f.debug_struct("Metrics");
-        for (k, v) in &self.counters {
-            d.field(k, v);
+        for (k, v) in self.counters() {
+            d.field(k, &v);
         }
-        for (k, h) in &self.hists {
+        for (k, h) in self.histograms() {
             d.field(k, h);
         }
         d.finish()
@@ -201,5 +375,75 @@ mod tests {
         m.clear();
         assert_eq!(m.counter("a"), 0);
         assert!(m.histogram("h").is_none());
+    }
+
+    #[test]
+    fn register_is_idempotent_and_fixed_slots_match_names() {
+        assert_eq!(register(NET_SENT), NET_SENT_ID);
+        assert_eq!(register(NET_DROPPED), NET_DROPPED_ID);
+        assert_eq!(register(NET_DELIVERED), NET_DELIVERED_ID);
+        assert_eq!(register(NET_TO_DEAD), NET_TO_DEAD_ID);
+        assert_eq!(register(NET_BYTES_SENT), NET_BYTES_SENT_ID);
+        let a = register("test.register.idempotent");
+        let b = register("test.register.idempotent");
+        assert_eq!(a, b);
+        assert_eq!(a.name(), "test.register.idempotent");
+        assert_eq!(NET_SENT_ID.name(), NET_SENT);
+    }
+
+    #[test]
+    fn id_api_and_string_api_agree_bit_for_bit() {
+        let id = register("test.idstr.counter");
+        let hid = register("test.idstr.hist");
+        let mut by_id = Metrics::new();
+        let mut by_name = Metrics::new();
+        for v in [3u64, 0, 41] {
+            by_id.add_id(id, v);
+            by_name.add("test.idstr.counter", v);
+        }
+        by_id.incr_id(id);
+        by_name.incr("test.idstr.counter");
+        by_id.set_max_id(id, 40);
+        by_name.set_max("test.idstr.counter", 40);
+        for v in [7u64, 9] {
+            by_id.record_id(hid, v);
+            by_name.record("test.idstr.hist", v);
+        }
+        assert_eq!(by_id.counter_id(id), by_name.counter("test.idstr.counter"));
+        assert_eq!(by_id.counter("test.idstr.counter"), by_name.counter_id(id));
+        let ha = by_id.histogram_id(hid).unwrap();
+        let hb = by_name.histogram("test.idstr.hist").unwrap();
+        assert_eq!(ha.count(), hb.count());
+        assert_eq!(ha.min(), hb.min());
+        assert_eq!(ha.max(), hb.max());
+        let ca: Vec<_> = by_id
+            .counters()
+            .filter(|(k, _)| k.starts_with("test.idstr."))
+            .collect();
+        let cb: Vec<_> = by_name
+            .counters()
+            .filter(|(k, _)| k.starts_with("test.idstr."))
+            .collect();
+        assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn set_id_then_string_read_round_trips() {
+        let id = register("test.roundtrip");
+        let mut m = Metrics::new();
+        m.set_id(id, 123);
+        assert_eq!(m.counter("test.roundtrip"), 123);
+        m.set("test.roundtrip", 7);
+        assert_eq!(m.counter_id(id), 7);
+    }
+
+    #[test]
+    fn unwritten_slots_do_not_appear_in_iteration() {
+        // Registering a name alone must not make it show up in sinks.
+        register("test.unwritten.ghost");
+        let mut m = Metrics::new();
+        m.incr("test.unwritten.real");
+        assert!(m.counters().all(|(k, _)| k != "test.unwritten.ghost"));
+        assert_eq!(m.counter("test.unwritten.ghost"), 0);
     }
 }

@@ -139,8 +139,9 @@ impl<'a, M: SimMessage> Runtime<M> for Ctx<'a, M> {
     /// reordered relative to other pairs, or dropped.
     fn send(&mut self, to: ActorId, msg: M) {
         let bytes = msg.wire_size();
-        self.metrics.incr(metrics::NET_SENT);
-        self.metrics.add(metrics::NET_BYTES_SENT, bytes as u64);
+        self.metrics.incr_id(metrics::NET_SENT_ID);
+        self.metrics
+            .add_id(metrics::NET_BYTES_SENT_ID, bytes as u64);
         match self
             .link
             .process(self.now, self.self_id, to, bytes, self.rng)
@@ -157,7 +158,7 @@ impl<'a, M: SimMessage> Runtime<M> for Ctx<'a, M> {
                 );
             }
             LinkVerdict::Drop => {
-                self.metrics.incr(metrics::NET_DROPPED);
+                self.metrics.incr_id(metrics::NET_DROPPED_ID);
             }
         }
     }
@@ -218,6 +219,7 @@ pub struct World<M: SimMessage> {
     next_timer: u64,
     stop: bool,
     trace: bool,
+    dispatched: u64,
 }
 
 impl<M: SimMessage> World<M> {
@@ -236,6 +238,7 @@ impl<M: SimMessage> World<M> {
             next_timer: 0,
             stop: false,
             trace: false,
+            dispatched: 0,
         }
     }
 
@@ -292,6 +295,25 @@ impl<M: SimMessage> World<M> {
             .and_then(|a| a.as_any().downcast_ref::<T>())
     }
 
+    /// The world-side half of the split borrow: one `Ctx` over every
+    /// field an actor callback may touch. All three dispatch sites
+    /// (start, deliver, timer) build their context here.
+    #[inline]
+    fn ctx(&mut self, self_id: ActorId) -> Ctx<'_, M> {
+        Ctx {
+            self_id,
+            now: self.now,
+            queue: &mut self.queue,
+            link: self.link.as_mut(),
+            rng: &mut self.rng,
+            metrics: &mut self.metrics,
+            alive: &mut self.alive,
+            cancelled: &mut self.cancelled,
+            next_timer: &mut self.next_timer,
+            stop: &mut self.stop,
+        }
+    }
+
     fn start_pending(&mut self) {
         while self.started < self.actors.len() {
             let idx = self.started;
@@ -300,19 +322,7 @@ impl<M: SimMessage> World<M> {
                 continue;
             }
             let mut actor = self.actors[idx].take().expect("actor reentrancy");
-            let mut ctx = Ctx {
-                self_id: ActorId(idx as u32),
-                now: self.now,
-                queue: &mut self.queue,
-                link: self.link.as_mut(),
-                rng: &mut self.rng,
-                metrics: &mut self.metrics,
-                alive: &mut self.alive,
-                cancelled: &mut self.cancelled,
-                next_timer: &mut self.next_timer,
-                stop: &mut self.stop,
-            };
-            actor.on_start(&mut ctx);
+            actor.on_start(&mut self.ctx(ActorId(idx as u32)));
             self.actors[idx] = Some(actor);
         }
     }
@@ -334,6 +344,7 @@ impl<M: SimMessage> World<M> {
         let (at, event) = self.queue.pop().expect("peeked");
         debug_assert!(at >= self.now, "time went backwards");
         self.now = at;
+        self.dispatched += 1;
         if self.trace {
             match &event {
                 Event::Deliver { from, to, .. } => {
@@ -347,27 +358,15 @@ impl<M: SimMessage> World<M> {
         match event {
             Event::Deliver { from, to, msg } => {
                 if !self.alive.get(to.index()).copied().unwrap_or(false) {
-                    self.metrics.incr(metrics::NET_TO_DEAD);
+                    self.metrics.incr_id(metrics::NET_TO_DEAD_ID);
                     return true;
                 }
-                self.metrics.incr(metrics::NET_DELIVERED);
+                self.metrics.incr_id(metrics::NET_DELIVERED_ID);
                 let Some(slot) = self.actors.get_mut(to.index()) else {
                     return true;
                 };
                 let mut actor = slot.take().expect("actor reentrancy");
-                let mut ctx = Ctx {
-                    self_id: to,
-                    now: self.now,
-                    queue: &mut self.queue,
-                    link: self.link.as_mut(),
-                    rng: &mut self.rng,
-                    metrics: &mut self.metrics,
-                    alive: &mut self.alive,
-                    cancelled: &mut self.cancelled,
-                    next_timer: &mut self.next_timer,
-                    stop: &mut self.stop,
-                };
-                actor.on_message(&mut ctx, from, msg);
+                actor.on_message(&mut self.ctx(to), from, msg);
                 self.actors[to.index()] = Some(actor);
             }
             Event::Timer { actor, timer, tag } => {
@@ -381,19 +380,7 @@ impl<M: SimMessage> World<M> {
                     return true;
                 };
                 let mut a = slot.take().expect("actor reentrancy");
-                let mut ctx = Ctx {
-                    self_id: actor,
-                    now: self.now,
-                    queue: &mut self.queue,
-                    link: self.link.as_mut(),
-                    rng: &mut self.rng,
-                    metrics: &mut self.metrics,
-                    alive: &mut self.alive,
-                    cancelled: &mut self.cancelled,
-                    next_timer: &mut self.next_timer,
-                    stop: &mut self.stop,
-                };
-                a.on_timer(&mut ctx, timer, tag);
+                a.on_timer(&mut self.ctx(actor), timer, tag);
                 self.actors[actor.index()] = Some(a);
             }
         }
@@ -418,14 +405,18 @@ impl<M: SimMessage> World<M> {
 
     /// Run until the queue drains, an actor stops the world, or virtual
     /// time would pass `limit`. Returns the virtual time reached.
+    ///
+    /// Unless an actor called `stop_world` (in which case time stays at
+    /// the stopping event), the clock always advances to `limit` — both
+    /// when events remain past it *and* when the queue drains early, so
+    /// `run_until(t)` behaves like "simulate through instant `t`" rather
+    /// than "stop at whatever happened last". The one exception is
+    /// `limit == SimTime::MAX`, the [`World::run`] sentinel meaning "no
+    /// limit", where time stays at the last dispatched event.
     pub fn run_until(&mut self, limit: SimTime) -> SimTime {
         while self.step(limit) {}
-        if !self.stop {
-            if let Some(next) = self.queue.peek_time() {
-                if next > limit {
-                    self.now = limit;
-                }
-            }
+        if !self.stop && limit != SimTime::MAX && self.now < limit {
+            self.now = limit;
         }
         self.now
     }
@@ -438,6 +429,18 @@ impl<M: SimMessage> World<M> {
     /// Number of events still pending.
     pub fn pending_events(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Pre-reserve queue capacity for a run expected to hold up to
+    /// `events` simultaneous pending events (purely an allocation hint;
+    /// has no observable effect on scheduling).
+    pub fn reserve_events(&mut self, events: usize) {
+        self.queue.reserve(events);
+    }
+
+    /// Total events dispatched since construction (timers included).
+    pub fn events_dispatched(&self) -> u64 {
+        self.dispatched
     }
 }
 
@@ -530,6 +533,22 @@ mod tests {
         w.run();
         let s: &Sink = w.actor_as(sink).unwrap();
         assert_eq!(s.got.len(), 3);
+    }
+
+    #[test]
+    fn run_until_advances_to_limit_when_queue_drains_early() {
+        // All three pings complete by t=8ms; the clock must still report
+        // the requested horizon, matching the events-remain case above.
+        let (mut w, _, sink) = build(5, 3);
+        let reached = w.run_until(SimTime(50_000_000));
+        assert_eq!(reached, SimTime(50_000_000));
+        assert_eq!(w.now(), SimTime(50_000_000));
+        let s: &Sink = w.actor_as(sink).unwrap();
+        assert_eq!(s.got.len(), 3, "queue drained before the limit");
+        // run() (the MAX sentinel) keeps reporting the last event time.
+        let (mut w2, _, _) = build(5, 3);
+        let end = w2.run();
+        assert_eq!(end, SimTime(8_000_000));
     }
 
     #[test]

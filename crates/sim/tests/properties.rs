@@ -6,6 +6,7 @@ use proptest::prelude::*;
 use mss_sim::event::{ActorId, Event, EventQueue, TimerId};
 use mss_sim::hist::Histogram;
 use mss_sim::link::{Bandwidth, FixedLatency, GilbertElliott, IidLoss, LinkModel, LinkVerdict};
+use mss_sim::metrics::Metrics;
 use mss_sim::rng::SimRng;
 use mss_sim::time::{SimDuration, SimTime};
 
@@ -15,6 +16,32 @@ fn timer(tag: u64) -> Event<()> {
         timer: TimerId(tag),
         tag,
     }
+}
+
+/// Build a sink from generated (counter-index, value) and
+/// (histogram-index, sample) pairs, drawn from a small shared name pool
+/// so sinks overlap on some slots and miss on others.
+fn sink_of(counters: &[(u8, u64)], samples: &[(u8, u64)]) -> Metrics {
+    let mut m = Metrics::new();
+    for &(k, v) in counters {
+        m.add(&format!("prop.merge.c{}", k % 8), v);
+    }
+    for &(k, v) in samples {
+        m.record(&format!("prop.merge.h{}", k % 4), v);
+    }
+    m
+}
+
+/// Observable state of a sink: every counter plus histogram summaries,
+/// in name order.
+fn snapshot(m: &Metrics) -> Vec<(String, u64)> {
+    let mut out: Vec<(String, u64)> = m.counters().map(|(k, v)| (k.to_owned(), v)).collect();
+    for (k, h) in m.histograms() {
+        out.push((format!("{k}#count"), h.count()));
+        out.push((format!("{k}#min"), h.min()));
+        out.push((format!("{k}#max"), h.max()));
+    }
+    out
 }
 
 proptest! {
@@ -118,6 +145,39 @@ proptest! {
                 LinkVerdict::Drop => {}
             }
         }
+    }
+
+    /// `Metrics::merge` is commutative and associative on random sinks:
+    /// the merged observable state (counters, histogram summaries) does
+    /// not depend on merge order or grouping.
+    #[test]
+    fn metrics_merge_is_commutative_and_associative(
+        ca in proptest::collection::vec((any::<u8>(), 0u64..1_000_000), 0..20),
+        cb in proptest::collection::vec((any::<u8>(), 0u64..1_000_000), 0..20),
+        cc in proptest::collection::vec((any::<u8>(), 0u64..1_000_000), 0..20),
+        ha in proptest::collection::vec((any::<u8>(), 0u64..1_000_000), 0..12),
+        hb in proptest::collection::vec((any::<u8>(), 0u64..1_000_000), 0..12),
+        hc in proptest::collection::vec((any::<u8>(), 0u64..1_000_000), 0..12),
+    ) {
+        let a = sink_of(&ca, &ha);
+        let b = sink_of(&cb, &hb);
+        let c = sink_of(&cc, &hc);
+
+        // Commutativity: a ⊕ b == b ⊕ a.
+        let mut ab = sink_of(&ca, &ha);
+        ab.merge(&b);
+        let mut ba = sink_of(&cb, &hb);
+        ba.merge(&a);
+        prop_assert_eq!(snapshot(&ab), snapshot(&ba));
+
+        // Associativity: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+        let mut ab_c = ab;
+        ab_c.merge(&c);
+        let mut bc = sink_of(&cb, &hb);
+        bc.merge(&c);
+        let mut a_bc = sink_of(&ca, &ha);
+        a_bc.merge(&bc);
+        prop_assert_eq!(snapshot(&ab_c), snapshot(&a_bc));
     }
 
     /// Gilbert–Elliott marginal loss stays within [loss_good, loss_bad].

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Record the DES kernel throughput baseline in BENCH_kernel.json.
+#
+# Runs the `session_throughput` bench (one full n=100 streaming session
+# per iteration) and converts the shim's stable stdout lines
+#
+#   DCoP/n100        13.68 ms/iter (0.657 Melem/s)
+#
+# into events/sec per protocol. Run it before and after kernel changes
+# and diff the JSON to judge hot-loop work.
+#
+# Usage: scripts/bench_baseline.sh [output.json]
+#   BENCH_NOTE="context string" scripts/bench_baseline.sh   # annotate
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export CARGO_NET_OFFLINE=true
+
+out="${1:-BENCH_kernel.json}"
+raw=$(cargo bench -p mss-bench --bench session_throughput 2>/dev/null)
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v note="${BENCH_NOTE:-}" '
+/Melem\/s/ {
+    # "  DCoP/n100   13.68 ms/iter (0.657 Melem/s)"
+    name = $1
+    sub(/\/.*/, "", name)
+    rate = $NF
+    sub(/^\(/, "", $(NF-1))
+    melem = $(NF-1)
+    protos[++n] = name
+    eps[n] = melem * 1e6
+}
+END {
+    if (n == 0) {
+        print "bench_baseline.sh: no benchmark lines parsed" > "/dev/stderr"
+        exit 1
+    }
+    printf "{\n"
+    printf "  \"bench\": \"session_throughput\",\n"
+    printf "  \"recorded\": \"%s\",\n", date
+    if (note != "")
+        printf "  \"note\": \"%s\",\n", note
+    printf "  \"events_per_sec\": {\n"
+    for (i = 1; i <= n; i++)
+        printf "    \"%s\": %.0f%s\n", protos[i], eps[i], (i < n ? "," : "")
+    printf "  }\n"
+    printf "}\n"
+}' <<<"$raw" >"$out"
+
+echo "wrote $out:"
+cat "$out"

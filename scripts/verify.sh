@@ -20,6 +20,9 @@ cargo test -q
 echo "==> full workspace tests"
 cargo test -q --workspace
 
+echo "==> bench smoke (each benchmark runs once in test mode)"
+cargo bench -p mss-bench -- --test
+
 echo "==> clippy (all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
