@@ -296,6 +296,134 @@ fn bench_kernel(c: &mut Criterion) {
     g.finish();
 }
 
+/// Binary-heap scheduler equivalent to the pre-calendar kernel, kept as
+/// the in-run baseline `queue_ops` measures the calendar queue against.
+struct HeapQueue<M> {
+    heap: std::collections::BinaryHeap<HeapEntry<M>>,
+    next_seq: u64,
+}
+
+struct HeapEntry<M> {
+    time: SimTime,
+    seq: u64,
+    event: Event<M>,
+}
+
+impl<M> PartialEq for HeapEntry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+impl<M> Eq for HeapEntry<M> {}
+impl<M> PartialOrd for HeapEntry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for HeapEntry<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+impl<M> HeapQueue<M> {
+    fn new() -> Self {
+        HeapQueue {
+            heap: std::collections::BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    fn push(&mut self, time: SimTime, event: Event<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry { time, seq, event });
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, Event<M>)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+}
+
+fn timer_event(i: u64) -> Event<()> {
+    Event::Timer {
+        actor: ActorId(0),
+        timer: TimerId(i),
+        tag: i,
+    }
+}
+
+/// The DES hold operation under steady-state load: prefill `n` pending
+/// events, then `n` pop-one-push-one rounds, then drain. Run for both
+/// schedulers and both timestamp regimes — `uniform` (times anywhere in
+/// a second) and `clustered` (each push one link latency, 1–2 ms, past
+/// the last pop: the distribution a streaming session produces).
+fn bench_queue_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queue_ops");
+    for n in [1_000u64, 10_000, 100_000] {
+        g.throughput(Throughput::Elements(n));
+        for clustered in [false, true] {
+            let regime = if clustered { "clustered" } else { "uniform" };
+            let time_of = move |rng: &mut SimRng, last: SimTime| {
+                if clustered {
+                    SimTime(last.0 + 1_000_000 + rng.next_u64() % 1_000_000)
+                } else {
+                    SimTime(rng.next_u64() % 1_000_000_000)
+                }
+            };
+            g.bench_with_input(
+                BenchmarkId::new(format!("calendar_{regime}"), n),
+                &n,
+                |b, &n| {
+                    let mut rng = SimRng::new(11);
+                    b.iter(|| {
+                        let mut q: EventQueue<()> = EventQueue::new();
+                        let mut last = SimTime(0);
+                        for i in 0..n {
+                            q.push(time_of(&mut rng, last), timer_event(i));
+                        }
+                        for i in 0..n {
+                            let (t, _) = q.pop().expect("queue prefilled");
+                            last = t;
+                            q.push(time_of(&mut rng, last), timer_event(n + i));
+                        }
+                        let mut popped = 0u64;
+                        while q.pop().is_some() {
+                            popped += 1;
+                        }
+                        popped
+                    });
+                },
+            );
+            g.bench_with_input(
+                BenchmarkId::new(format!("heap_{regime}"), n),
+                &n,
+                |b, &n| {
+                    let mut rng = SimRng::new(11);
+                    b.iter(|| {
+                        let mut q: HeapQueue<()> = HeapQueue::new();
+                        let mut last = SimTime(0);
+                        for i in 0..n {
+                            q.push(time_of(&mut rng, last), timer_event(i));
+                        }
+                        for i in 0..n {
+                            let (t, _) = q.pop().expect("queue prefilled");
+                            last = t;
+                            q.push(time_of(&mut rng, last), timer_event(n + i));
+                        }
+                        let mut popped = 0u64;
+                        while q.pop().is_some() {
+                            popped += 1;
+                        }
+                        popped
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_seq,
@@ -305,6 +433,7 @@ criterion_group!(
     bench_gossip,
     bench_slots,
     bench_overlay,
-    bench_kernel
+    bench_kernel,
+    bench_queue_ops
 );
 criterion_main!(benches);

@@ -4,6 +4,54 @@
 //! for the same instant dispatch in the order they were scheduled. This
 //! makes every run bit-reproducible for a given seed, regardless of host
 //! platform or allocator behaviour.
+//!
+//! # Calendar-queue scheduler
+//!
+//! The queue is a two-level calendar queue (Brown 1988) rather than a
+//! binary heap, so the simulator's hold operation — pop the earliest
+//! event, handle it, push a few more a link-latency ahead — is amortized
+//! O(1) instead of O(log n):
+//!
+//! * **Near horizon** — `nb` circularly-indexed time buckets, each
+//!   covering a `2^w_shift`-nanosecond slice of the sliding window
+//!   `[base, base + nb·2^w_shift)`; an in-window time `t` lives in
+//!   bucket `(t >> w_shift) & (nb - 1)`. The window's start tracks the
+//!   dispatch cursor, so its far end advances continuously and pushes a
+//!   link-latency ahead of *now* stay in-window — the steady-state hold
+//!   pattern never touches the heap.
+//! * **Overflow** — events beyond the window (far timers) sit in a
+//!   binary heap and migrate into buckets — once, a few at a time — as
+//!   the window slides over them.
+//!
+//! Storage is a slab of nodes indexed by `u32` slots; a bucket is an
+//! intrusive singly-linked list (head/tail slot) threaded through the
+//! slab and kept sorted by `(time, seq)`. Nodes never move once
+//! allocated — inserts relink a few `u32`s — so the cost of an insert
+//! is independent of the payload size, and an empty bucket costs 8
+//! bytes, not an allocation. The overflow heap holds 24-byte keys only.
+//!
+//! The bucket width is auto-tuned (power-of-two widths, so indexing is
+//! a shift) from the observed inter-pop gap and the density of the
+//! pending set, and the bucket count from the pending span, with
+//! hysteresis (`rebuild`). Both re-tunes depend only on the operation
+//! sequence — never on wall time or addresses — and neither changes
+//! which `(time, seq)` entries are pending, so tuning affects speed,
+//! never pop order.
+//!
+//! ## Determinism argument
+//!
+//! Pop always returns the globally least `(time, seq)` entry. The
+//! window spans at most `nb` consecutive slices, so each bucket holds
+//! at most one slice's worth of in-window events and the circular scan
+//! from the cursor visits slices in increasing time order; entries that
+//! land behind the window's start are clamped into the cursor bucket,
+//! where the sorted list still ranks them first; the overflow heap
+//! holds only times at or beyond the window end; and within a bucket
+//! the sorted list yields `(time, seq)` order — which for equal times
+//! is exactly FIFO insertion order. The total order is therefore
+//! identical to the reference heap's, bit for bit (property-tested in
+//! `tests/properties.rs`). Slot numbers index storage only and never
+//! participate in ordering.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -55,43 +103,132 @@ pub enum Event<M> {
     },
 }
 
-struct Entry<M> {
+/// Sentinel slot: end of a bucket list / empty bucket.
+const NIL: u32 = u32::MAX;
+
+/// A slab cell: the scheduling key, the intrusive bucket-list link, and
+/// the payload. Never moves once allocated.
+struct Node<M> {
     time: SimTime,
     seq: u64,
-    event: Event<M>,
+    next: u32,
+    event: Option<Event<M>>,
 }
 
-impl<M> PartialEq for Entry<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+/// Scheduling key for the overflow heap: everything needed to order an
+/// event, plus the slab slot where its node lives.
+#[derive(Clone, Copy)]
+struct Key {
+    time: SimTime,
+    seq: u64,
+    slot: u32,
+}
+
+impl Key {
+    #[inline]
+    fn order(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
     }
 }
-impl<M> Eq for Entry<M> {}
 
-impl<M> PartialOrd for Entry<M> {
+impl PartialEq for Key {
+    fn eq(&self, other: &Self) -> bool {
+        self.order() == other.order()
+    }
+}
+impl Eq for Key {}
+
+impl PartialOrd for Key {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<M> Ord for Entry<M> {
+impl Ord for Key {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert to pop the earliest entry first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
+        // BinaryHeap is a max-heap; invert to pop the earliest key first.
+        other.order().cmp(&self.order())
     }
 }
 
+/// Fewest buckets the calendar keeps (also the initial size).
+const MIN_BUCKETS: usize = 64;
+/// Most buckets the calendar will grow to.
+const MAX_BUCKETS: usize = 1 << 16;
+/// Narrowest bucket: 1 ns. Narrow is the safe failure mode — an
+/// under-wide calendar degrades to overflow-heap behaviour (O(log n)),
+/// while an over-wide one degrades to O(n) in-bucket list walks.
+const MIN_SHIFT: u32 = 0;
+/// Widest bucket: 2^30 ns ≈ 1.07 s.
+const MAX_SHIFT: u32 = 30;
+/// Width before any gap has been observed: 2^17 ns ≈ 131 µs.
+const DEFAULT_SHIFT: u32 = 17;
+
 /// Priority queue of future events ordered by `(time, insertion sequence)`.
+///
+/// See the module docs for the calendar-queue layout and the
+/// determinism argument.
 pub struct EventQueue<M> {
-    heap: BinaryHeap<Entry<M>>,
+    /// Node slab; length is bounded by the high-water mark of
+    /// simultaneously pending events.
+    slab: Vec<Node<M>>,
+    /// Free slab slots, reused LIFO (deterministic, cache-warm).
+    free: Vec<u32>,
+    /// Bucket list heads (`NIL` = empty), circularly indexed.
+    heads: Vec<u32>,
+    /// Bucket list tails; meaningful only where `heads` is not `NIL`.
+    tails: Vec<u32>,
+    /// One bit per bucket: set iff the bucket is non-empty.
+    occ: Vec<u64>,
+    /// Keys beyond the window `[base, base + nb·2^w_shift)`.
+    overflow: BinaryHeap<Key>,
+    nb: usize,
+    /// Bucket width is `1 << w_shift` nanoseconds.
+    w_shift: u32,
+    /// Inclusive start of the bucketed window — the aligned start of
+    /// the cursor bucket's time slice. Advances with the cursor, which
+    /// slides the window end forward and lets overflow keys migrate in
+    /// a few at a time (never a bulk re-file).
+    base: u64,
+    /// Bucket holding the earliest pending key (when any are bucketed).
+    cursor: usize,
+    /// Events currently in buckets (the rest are in `overflow`).
+    bucketed: usize,
+    len: usize,
     next_seq: u64,
+    /// Inter-pop gap statistics driving the width auto-tune.
+    last_pop: Option<u64>,
+    gap_sum: u64,
+    gap_cnt: u64,
+    /// Population at the last rebuild; growth re-triggers only after it
+    /// doubles, so workloads a resize cannot help (e.g. massive ties)
+    /// rebuild O(log n) times, not per push.
+    rebuilt_len: usize,
+    /// Most events ever pending at once (sizing diagnostics).
+    high_water: usize,
 }
 
 impl<M> Default for EventQueue<M> {
     fn default() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            heads: vec![NIL; MIN_BUCKETS],
+            tails: vec![NIL; MIN_BUCKETS],
+            occ: vec![0; MIN_BUCKETS.div_ceil(64)],
+            overflow: BinaryHeap::new(),
+            nb: MIN_BUCKETS,
+            w_shift: DEFAULT_SHIFT,
+            base: 0,
+            cursor: 0,
+            bucketed: 0,
+            len: 0,
             next_seq: 0,
+            last_pop: None,
+            gap_sum: 0,
+            gap_cnt: 0,
+            rebuilt_len: 0,
+            high_water: 0,
         }
     }
 }
@@ -102,49 +239,414 @@ impl<M> EventQueue<M> {
         Self::default()
     }
 
-    /// Empty queue with room for `cap` events before reallocating.
+    /// Empty queue pre-sized for `cap` simultaneously pending events.
     pub fn with_capacity(cap: usize) -> Self {
-        EventQueue {
-            heap: BinaryHeap::with_capacity(cap),
-            next_seq: 0,
-        }
+        let mut q = Self::default();
+        q.reserve(cap);
+        q
     }
 
-    /// Reserve room for at least `additional` more events, so bursty
-    /// fan-outs don't regrow the heap mid-dispatch.
+    /// Size the calendar and node slab for at least `additional` more
+    /// pending events, so bursty fan-outs don't trigger mid-dispatch
+    /// rebuilds or slab growth. Purely a capacity hint: pop order is
+    /// unaffected.
     pub fn reserve(&mut self, additional: usize) {
-        self.heap.reserve(additional);
+        let target = self.len.saturating_add(additional);
+        if target > self.nb * 2 && self.nb < MAX_BUCKETS {
+            self.rebuild(target);
+        }
+        self.slab.reserve(target.saturating_sub(self.slab.len()));
     }
 
     /// Schedule `event` at absolute time `at`.
     pub fn push(&mut self, at: SimTime, event: Event<M>) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                let n = &mut self.slab[s as usize];
+                n.time = at;
+                n.seq = seq;
+                n.next = NIL;
+                n.event = Some(event);
+                s
+            }
+            None => {
+                self.slab.push(Node {
+                    time: at,
+                    seq,
+                    next: NIL,
+                    event: Some(event),
+                });
+                (self.slab.len() - 1) as u32
+            }
+        };
+        if self.len == 0 {
+            self.init_window(at.0);
+        }
+        self.place(Key {
             time: at,
             seq,
-            event,
+            slot,
         });
+        self.len += 1;
+        if self.len > self.high_water {
+            self.high_water = self.len;
+        }
+        if self.len > self.nb * 2 && self.len > self.rebuilt_len * 2 && self.nb < MAX_BUCKETS {
+            self.rebuild(self.len);
+        }
     }
 
     /// Timestamp of the earliest pending event, if any.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+    ///
+    /// Takes `&mut self` because peeking may advance the cursor or pull
+    /// overflow events into the window — both order-neutral.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        if !self.settle() {
+            return None;
+        }
+        Some(self.slab[self.heads[self.cursor] as usize].time)
     }
 
     /// Remove and return the earliest pending event.
     pub fn pop(&mut self) -> Option<(SimTime, Event<M>)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+        self.pop_at_or_before(SimTime::MAX)
+    }
+
+    /// Remove and return the earliest pending event if its time is at or
+    /// before `limit` — the dispatch loop's single hold operation,
+    /// replacing the `peek_time` + `pop` pair.
+    pub fn pop_at_or_before(&mut self, limit: SimTime) -> Option<(SimTime, Event<M>)> {
+        if !self.settle() {
+            return None;
+        }
+        let slot = self.heads[self.cursor];
+        let node = &mut self.slab[slot as usize];
+        let t = node.time;
+        if t > limit {
+            return None;
+        }
+        let event = node.event.take().expect("slot occupied");
+        let next = node.next;
+        self.heads[self.cursor] = next;
+        if next == NIL {
+            self.occ_clear(self.cursor);
+        }
+        self.free.push(slot);
+        self.bucketed -= 1;
+        self.len -= 1;
+        self.observe_gap(t.0);
+        if self.nb > MIN_BUCKETS && self.len * 32 < self.nb {
+            self.rebuild(self.len);
+        }
+        Some((t, event))
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
+    }
+
+    /// Most events that were ever pending at once (sizing diagnostics).
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    // ---- internals -----------------------------------------------------
+
+    #[inline]
+    fn occ_set(&mut self, i: usize) {
+        self.occ[i >> 6] |= 1u64 << (i & 63);
+    }
+
+    #[inline]
+    fn occ_clear(&mut self, i: usize) {
+        self.occ[i >> 6] &= !(1u64 << (i & 63));
+    }
+
+    /// Index of the first non-empty bucket at or after `from`,
+    /// wrapping circularly. `None` iff no bucket is occupied.
+    fn occ_next(&self, from: usize) -> Option<usize> {
+        let mut w = from >> 6;
+        let mut word = self.occ[w] & (!0u64 << (from & 63));
+        // One extra iteration so `from`'s own word is rechecked
+        // unmasked after the wrap-around.
+        for _ in 0..=self.occ.len() {
+            if word != 0 {
+                return Some((w << 6) + word.trailing_zeros() as usize);
+            }
+            w += 1;
+            if w >= self.occ.len() {
+                w = 0;
+            }
+            word = self.occ[w];
+        }
+        None
+    }
+
+    /// True when `t` falls inside the bucketed window
+    /// `[base, base + nb·2^w_shift)`. Times behind `base` are handled
+    /// by the stale clamp in [`Self::place`].
+    #[inline]
+    fn in_window(&self, t: u64) -> bool {
+        t >= self.base && (t - self.base) >> self.w_shift < self.nb as u64
+    }
+
+    /// File a key into its bucket or the overflow heap. Window must be
+    /// initialized; does not touch `len`.
+    fn place(&mut self, k: Key) {
+        let t = k.time.0;
+        let i = if t < self.base {
+            // Stale push, behind the cursor's slice: clamp into the
+            // cursor bucket, where the sorted order ranks it first.
+            self.cursor
+        } else if (t - self.base) >> self.w_shift < self.nb as u64 {
+            ((t >> self.w_shift) & (self.nb as u64 - 1)) as usize
+        } else {
+            self.overflow.push(k);
+            return;
+        };
+        self.link(i, k);
+    }
+
+    /// Sorted-insert `k` into bucket `i`'s intrusive list. The common
+    /// push (latest key in its bucket) links at the tail in O(1);
+    /// out-of-order arrivals walk the list but move no data.
+    fn link(&mut self, i: usize, k: Key) {
+        let ord = k.order();
+        let head = self.heads[i];
+        if head == NIL {
+            self.occ_set(i);
+            // Re-filed keys (rebuild, overflow migration) carry a stale
+            // link from their previous list; sever it.
+            self.slab[k.slot as usize].next = NIL;
+            self.heads[i] = k.slot;
+            self.tails[i] = k.slot;
+        } else {
+            let tail = self.tails[i];
+            let tn = &self.slab[tail as usize];
+            if (tn.time, tn.seq) < ord {
+                self.slab[k.slot as usize].next = NIL;
+                self.slab[tail as usize].next = k.slot;
+                self.tails[i] = k.slot;
+            } else {
+                let mut prev = NIL;
+                let mut cur = head;
+                while cur != NIL {
+                    let c = &self.slab[cur as usize];
+                    if (c.time, c.seq) > ord {
+                        break;
+                    }
+                    prev = cur;
+                    cur = c.next;
+                }
+                self.slab[k.slot as usize].next = cur;
+                if prev == NIL {
+                    self.heads[i] = k.slot;
+                } else {
+                    self.slab[prev as usize].next = k.slot;
+                }
+            }
+        }
+        self.bucketed += 1;
+    }
+
+    /// Pull every overflow key that the (just-advanced) window now
+    /// covers into its bucket.
+    fn drain_overflow(&mut self) {
+        while let Some(head) = self.overflow.peek() {
+            if !self.in_window(head.time.0) {
+                break;
+            }
+            let k = self.overflow.pop().expect("peeked");
+            self.link(
+                ((k.time.0 >> self.w_shift) & (self.nb as u64 - 1)) as usize,
+                k,
+            );
+        }
+    }
+
+    /// Average observed inter-pop gap, as a clamped power-of-two shift.
+    fn ideal_shift(&self) -> u32 {
+        if self.gap_cnt == 0 {
+            return DEFAULT_SHIFT;
+        }
+        let avg = (self.gap_sum / self.gap_cnt).max(1);
+        // Bucket width in [avg/2, avg): floor(log2) - 1. Narrow is the
+        // right bias: skipping an empty bucket costs almost nothing
+        // (one occupancy-bitmap scan covers 64 buckets), while an
+        // over-wide bucket turns clustered arrivals into long in-bucket
+        // list walks.
+        (63 - avg.leading_zeros())
+            .saturating_sub(1)
+            .clamp(MIN_SHIFT, MAX_SHIFT)
+    }
+
+    /// Record the gap between consecutive pops, with periodic decay so
+    /// the average tracks the recent workload.
+    fn observe_gap(&mut self, t: u64) {
+        if let Some(last) = self.last_pop {
+            let d = t.saturating_sub(last);
+            if d > 0 {
+                self.gap_sum += d;
+                self.gap_cnt += 1;
+                if self.gap_cnt >= 1024 {
+                    self.gap_sum >>= 1;
+                    self.gap_cnt >>= 1;
+                }
+            }
+        }
+        self.last_pop = Some(self.last_pop.map_or(t, |l| l.max(t)));
+    }
+
+    /// Point the window at (the aligned slice of) time `t`, re-tuning
+    /// the width from the gap statistics. Buckets must be empty.
+    fn init_window(&mut self, t: u64) {
+        self.w_shift = self.ideal_shift();
+        self.aim_at(t);
+    }
+
+    /// Move `base`/`cursor` to the slice containing `t` without
+    /// changing the width. Only valid when `t` is at or past every
+    /// bucketed key (the window never moves backwards over content).
+    #[inline]
+    fn aim_at(&mut self, t: u64) {
+        self.base = (t >> self.w_shift) << self.w_shift;
+        self.cursor = ((t >> self.w_shift) & (self.nb as u64 - 1)) as usize;
+    }
+
+    /// Ensure the cursor sits on the non-empty bucket holding the
+    /// earliest pending key; false iff the queue is empty. Advances the
+    /// window (sliding overflow keys in) as the cursor moves.
+    fn settle(&mut self) -> bool {
+        if self.len == 0 {
+            return false;
+        }
+        // Fast path: the bucket being drained still has keys.
+        if self.heads[self.cursor] != NIL {
+            return true;
+        }
+        if self.bucketed > 0 {
+            // The circular scan visits slices in increasing time order
+            // (one lap of the window), so the first occupied bucket
+            // holds the earliest key; re-aim the window at its slice.
+            let i = self.occ_next(self.cursor).expect("bucketed > 0");
+            let head_t = self.slab[self.heads[i] as usize].time.0;
+            self.aim_at(head_t);
+            debug_assert_eq!(self.cursor, i, "head key outside its slice");
+        } else {
+            // Buckets drained: jump the window to the earliest overflow
+            // key (possibly re-tuning the width — order-neutral).
+            let t0 = self.overflow.peek().expect("len > 0").time.0;
+            self.init_window(t0);
+        }
+        // Either jump advanced the window end: let overflow catch up.
+        self.drain_overflow();
+        debug_assert!(self.heads[self.cursor] != NIL);
+        true
+    }
+
+    /// Resize the calendar to suit `target` pending events and re-file
+    /// every key. Re-tunes the bucket width (the narrower of the gap
+    /// estimate and the pending-set density) and the bucket count (the
+    /// pending span with headroom at that width, capped at 8× the
+    /// population). Membership is preserved exactly, so pop order
+    /// cannot change.
+    fn rebuild(&mut self, target: usize) {
+        let mut scratch: Vec<Key> = Vec::with_capacity(self.len);
+        let mut w = 0;
+        while let Some(i) = self.occ_word_next(&mut w) {
+            let mut cur = self.heads[i];
+            while cur != NIL {
+                let n = &self.slab[cur as usize];
+                scratch.push(Key {
+                    time: n.time,
+                    seq: n.seq,
+                    slot: cur,
+                });
+                cur = n.next;
+            }
+            self.heads[i] = NIL;
+            self.tails[i] = NIL;
+            // Clear as we go so the word scan advances past this bucket.
+            self.occ[i >> 6] &= !(1u64 << (i & 63));
+        }
+        scratch.extend(std::mem::take(&mut self.overflow));
+        self.rebuilt_len = target.max(scratch.len());
+        if scratch.is_empty() {
+            // Reserve path: pre-size the calendar for the hint alone.
+            self.resize_to(target.next_power_of_two());
+            return;
+        }
+        // Sorted re-filing makes every link below a tail append.
+        scratch.sort_unstable_by_key(|k| k.order());
+        let min_t = scratch.first().expect("non-empty").time.0;
+        let max_t = scratch.last().expect("non-empty").time.0;
+        let span = max_t - min_t;
+        // Width that spreads the pending set at ~1 key per bucket. With
+        // no pop history yet (bulk prefill), it is the only density
+        // signal; combined with the gap estimate, the narrower wins —
+        // a dense cluster must not collapse into a few fat buckets.
+        let span_w = (span / scratch.len() as u64).max(1);
+        let span_shift = (63 - span_w.leading_zeros()).clamp(MIN_SHIFT, MAX_SHIFT);
+        let shift = if self.gap_cnt == 0 {
+            span_shift
+        } else {
+            self.ideal_shift().min(span_shift)
+        };
+        // Enough buckets that the window covers the whole pending span
+        // with 4× headroom — an in-window push skips the overflow heap
+        // entirely, and in a rolling workload new pushes land past the
+        // span observed here — capped so a far-future outlier cannot
+        // demand a huge calendar.
+        let want = (span >> shift).saturating_add(1).saturating_mul(4);
+        let cap = (self.rebuilt_len as u64).saturating_mul(8);
+        self.resize_to(want.min(cap).max(1) as usize);
+        self.w_shift = shift;
+        self.aim_at(min_t);
+        for k in scratch {
+            self.place(k);
+        }
+    }
+
+    /// Next occupied bucket scanning words from `*w` forward (linear,
+    /// not circular) — rebuild's traversal order, which need not be
+    /// time order.
+    fn occ_word_next(&self, w: &mut usize) -> Option<usize> {
+        while *w < self.occ.len() {
+            let word = self.occ[*w];
+            if word != 0 {
+                let i = (*w << 6) + word.trailing_zeros() as usize;
+                return Some(i);
+            }
+            *w += 1;
+        }
+        None
+    }
+
+    /// Set the bucket count to `want` (clamped, power of two), clearing
+    /// all buckets and the occupancy bitmap. Callers re-file keys.
+    fn resize_to(&mut self, want: usize) {
+        let new_nb = want.next_power_of_two().clamp(MIN_BUCKETS, MAX_BUCKETS);
+        if new_nb != self.nb {
+            self.heads.clear();
+            self.heads.resize(new_nb, NIL);
+            self.tails.clear();
+            self.tails.resize(new_nb, NIL);
+            self.nb = new_nb;
+            self.occ = vec![0; new_nb.div_ceil(64)];
+        } else {
+            self.heads.fill(NIL);
+            self.tails.fill(NIL);
+            self.occ.fill(0);
+        }
+        self.bucketed = 0;
     }
 }
 
@@ -212,5 +714,122 @@ mod tests {
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_at_or_before_respects_limit() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(100), timer_ev(0));
+        q.push(SimTime(200), timer_ev(1));
+        assert!(q.pop_at_or_before(SimTime(99)).is_none());
+        assert_eq!(
+            q.pop_at_or_before(SimTime(100))
+                .map(|(t, e)| (t.0, tag_of(e))),
+            Some((100, 0))
+        );
+        assert!(q.pop_at_or_before(SimTime(150)).is_none());
+        assert_eq!(q.len(), 1, "limit-refused pops leave the queue intact");
+        assert_eq!(
+            q.pop_at_or_before(SimTime::MAX)
+                .map(|(t, e)| (t.0, tag_of(e))),
+            Some((200, 1))
+        );
+    }
+
+    #[test]
+    fn far_future_events_take_the_overflow_path() {
+        let mut q = EventQueue::new();
+        // Way past any initial window: forces overflow filing + window
+        // jumps.
+        q.push(SimTime(1), timer_ev(0));
+        q.push(SimTime(10_000_000_000), timer_ev(1)); // +10 s
+        q.push(SimTime(u64::MAX), timer_ev(2));
+        q.push(SimTime(u64::MAX), timer_ev(3)); // tie at the far edge
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| tag_of(e))
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn pushes_behind_the_cursor_still_pop_first() {
+        let mut q = EventQueue::new();
+        for i in 0..32 {
+            q.push(SimTime(i * 1_000_000), timer_ev(i));
+        }
+        for i in 0..16 {
+            assert_eq!(q.pop().map(|(_, e)| tag_of(e)), Some(i));
+        }
+        // Stale push: earlier than everything still pending.
+        q.push(SimTime(0), timer_ev(999));
+        assert_eq!(q.pop().map(|(t, e)| (t.0, tag_of(e))), Some((0, 999)));
+        assert_eq!(q.pop().map(|(_, e)| tag_of(e)), Some(16));
+    }
+
+    #[test]
+    fn grows_and_shrinks_without_losing_order() {
+        let mut q = EventQueue::new();
+        let n = 10_000u64;
+        for i in 0..n {
+            // Reversed times: worst case for append-fast-path buckets.
+            q.push(SimTime((n - i) * 1_000), timer_ev(i));
+        }
+        assert_eq!(q.len(), n as usize);
+        assert_eq!(q.high_water(), n as usize);
+        let mut last = (0u64, None::<u64>);
+        let mut popped = 0;
+        while let Some((t, e)) = q.pop() {
+            let tag = tag_of(e);
+            assert!(t.0 > last.0 || last.1.is_none(), "order violated at {t:?}");
+            last = (t.0, Some(tag));
+            popped += 1;
+        }
+        assert_eq!(popped, n);
+    }
+
+    #[test]
+    fn slab_slots_recycle_under_churn() {
+        let mut q = EventQueue::new();
+        for round in 0..100u64 {
+            for i in 0..8 {
+                q.push(SimTime(round * 1_000 + i), timer_ev(round * 8 + i));
+            }
+            for _ in 0..8 {
+                q.pop().unwrap();
+            }
+        }
+        assert!(q.is_empty());
+        assert!(
+            q.high_water() <= 8,
+            "slab should stay at the churn high-water, got {}",
+            q.high_water()
+        );
+    }
+
+    #[test]
+    fn with_capacity_presizes_without_changing_order() {
+        let mut a = EventQueue::with_capacity(50_000);
+        let mut b = EventQueue::new();
+        let mut x = 0x243F_6A88_85A3_08D3u64;
+        let mut times = Vec::new();
+        for _ in 0..5_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            times.push(x % 3_000_000);
+        }
+        for (i, &t) in times.iter().enumerate() {
+            a.push(SimTime(t), timer_ev(i as u64));
+            b.push(SimTime(t), timer_ev(i as u64));
+        }
+        loop {
+            let (pa, pb) = (a.pop(), b.pop());
+            let ka = pa.map(|(t, e)| (t.0, tag_of(e)));
+            let kb = pb.map(|(t, e)| (t.0, tag_of(e)));
+            assert_eq!(ka, kb);
+            if ka.is_none() {
+                break;
+            }
+        }
     }
 }

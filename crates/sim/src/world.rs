@@ -11,7 +11,6 @@
 //! on every platform.
 
 use std::any::Any;
-use std::collections::HashSet;
 
 use crate::event::{ActorId, Event, EventQueue, TimerId};
 use crate::link::{LinkModel, LinkVerdict};
@@ -102,6 +101,72 @@ macro_rules! impl_as_any {
     };
 }
 
+/// Liveness lookup shared by every dispatch site: out-of-range ids are
+/// treated as dead (never registered ⇒ cannot receive anything).
+#[inline]
+fn is_alive_idx(alive: &[bool], idx: usize) -> bool {
+    alive.get(idx).copied().unwrap_or(false)
+}
+
+/// Crash-stop by index; out-of-range ids are a no-op, matching
+/// [`is_alive_idx`].
+#[inline]
+fn kill_idx(alive: &mut [bool], idx: usize) {
+    if let Some(a) = alive.get_mut(idx) {
+        *a = false;
+    }
+}
+
+/// Pending-timer bookkeeping: a generation-stamped slot map.
+///
+/// A [`TimerId`] packs `slot << 32 | generation`. Arming a timer claims a
+/// slot at its current generation; *consuming* the id — by cancelling or
+/// by firing — bumps the generation and frees the slot. A stale id (one
+/// whose generation no longer matches) is simply ignored, so cancelling
+/// a timer that already fired is a no-op rather than a permanently
+/// leaked tombstone, and the table's size is bounded by the high-water
+/// mark of *concurrently* armed timers. A pending timer event could only
+/// misfire if its slot were recycled 2³² times before dispatch, which no
+/// realistic run approaches.
+#[derive(Default)]
+struct TimerTable {
+    /// Current generation per slot; odd/even carries no meaning, only
+    /// equality with the id's stamp.
+    gens: Vec<u32>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl TimerTable {
+    fn arm(&mut self) -> TimerId {
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.gens.push(0);
+                (self.gens.len() - 1) as u32
+            }
+        };
+        self.live += 1;
+        TimerId((u64::from(slot) << 32) | u64::from(self.gens[slot as usize]))
+    }
+
+    /// Consume `id` (cancel or fire). Returns false when the id is
+    /// stale — already fired or already cancelled.
+    fn take(&mut self, id: TimerId) -> bool {
+        let slot = (id.0 >> 32) as usize;
+        let gen = id.0 as u32;
+        match self.gens.get_mut(slot) {
+            Some(g) if *g == gen => {
+                *g = g.wrapping_add(1);
+                self.free.push(slot as u32);
+                self.live -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
 /// The world handle passed to actor callbacks.
 pub struct Ctx<'a, M: SimMessage> {
     self_id: ActorId,
@@ -111,8 +176,7 @@ pub struct Ctx<'a, M: SimMessage> {
     rng: &'a mut SimRng,
     metrics: &'a mut Metrics,
     alive: &'a mut [bool],
-    cancelled: &'a mut HashSet<u64>,
-    next_timer: &'a mut u64,
+    timers: &'a mut TimerTable,
     stop: &'a mut bool,
 }
 
@@ -132,7 +196,7 @@ impl<'a, M: SimMessage> Runtime<M> for Ctx<'a, M> {
     }
 
     fn is_alive(&self, actor: ActorId) -> bool {
-        self.alive.get(actor.index()).copied().unwrap_or(false)
+        is_alive_idx(self.alive, actor.index())
     }
 
     /// The message passes the world's link model and may be delayed,
@@ -164,8 +228,7 @@ impl<'a, M: SimMessage> Runtime<M> for Ctx<'a, M> {
     }
 
     fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
-        let id = TimerId(*self.next_timer);
-        *self.next_timer += 1;
+        let id = self.timers.arm();
         self.queue.push(
             self.now + delay,
             Event::Timer {
@@ -177,8 +240,11 @@ impl<'a, M: SimMessage> Runtime<M> for Ctx<'a, M> {
         id
     }
 
+    /// Invalidate the timer's slot; the queued event becomes a tombstone
+    /// skipped at dispatch. Cancelling an already-fired (or already-
+    /// cancelled) timer is a no-op and leaks nothing.
     fn cancel_timer(&mut self, timer: TimerId) {
-        self.cancelled.insert(timer.0);
+        self.timers.take(timer);
     }
 
     #[inline]
@@ -194,9 +260,7 @@ impl<'a, M: SimMessage> Runtime<M> for Ctx<'a, M> {
     /// Crash-stop `actor`: it receives no further messages or timers.
     /// In-flight messages *from* it still arrive (they already left).
     fn kill(&mut self, actor: ActorId) {
-        if let Some(a) = self.alive.get_mut(actor.index()) {
-            *a = false;
-        }
+        kill_idx(self.alive, actor.index());
     }
 
     /// Halt the whole simulation after the current callback returns.
@@ -215,8 +279,7 @@ pub struct World<M: SimMessage> {
     rng: SimRng,
     metrics: Metrics,
     now: SimTime,
-    cancelled: HashSet<u64>,
-    next_timer: u64,
+    timers: TimerTable,
     stop: bool,
     trace: bool,
     dispatched: u64,
@@ -234,8 +297,7 @@ impl<M: SimMessage> World<M> {
             rng: SimRng::new(seed),
             metrics: Metrics::new(),
             now: SimTime::ZERO,
-            cancelled: HashSet::new(),
-            next_timer: 0,
+            timers: TimerTable::default(),
             stop: false,
             trace: false,
             dispatched: 0,
@@ -272,14 +334,12 @@ impl<M: SimMessage> World<M> {
 
     /// True if `actor` has not been killed.
     pub fn is_alive(&self, actor: ActorId) -> bool {
-        self.alive.get(actor.index()).copied().unwrap_or(false)
+        is_alive_idx(&self.alive, actor.index())
     }
 
     /// Crash-stop an actor from outside the simulation.
     pub fn kill(&mut self, actor: ActorId) {
-        if let Some(a) = self.alive.get_mut(actor.index()) {
-            *a = false;
-        }
+        kill_idx(&mut self.alive, actor.index());
     }
 
     /// Borrow a registered actor as a trait object for inspection.
@@ -308,8 +368,7 @@ impl<M: SimMessage> World<M> {
             rng: &mut self.rng,
             metrics: &mut self.metrics,
             alive: &mut self.alive,
-            cancelled: &mut self.cancelled,
-            next_timer: &mut self.next_timer,
+            timers: &mut self.timers,
             stop: &mut self.stop,
         }
     }
@@ -335,13 +394,9 @@ impl<M: SimMessage> World<M> {
         if self.stop {
             return false;
         }
-        let Some(at) = self.queue.peek_time() else {
+        let Some((at, event)) = self.queue.pop_at_or_before(limit) else {
             return false;
         };
-        if at > limit {
-            return false;
-        }
-        let (at, event) = self.queue.pop().expect("peeked");
         debug_assert!(at >= self.now, "time went backwards");
         self.now = at;
         self.dispatched += 1;
@@ -357,7 +412,7 @@ impl<M: SimMessage> World<M> {
         }
         match event {
             Event::Deliver { from, to, msg } => {
-                if !self.alive.get(to.index()).copied().unwrap_or(false) {
+                if !is_alive_idx(&self.alive, to.index()) {
                     self.metrics.incr_id(metrics::NET_TO_DEAD_ID);
                     return true;
                 }
@@ -370,10 +425,12 @@ impl<M: SimMessage> World<M> {
                 self.actors[to.index()] = Some(actor);
             }
             Event::Timer { actor, timer, tag } => {
-                if self.cancelled.remove(&timer.0) {
+                // A stale id means the timer was cancelled (or the slot
+                // already consumed); firing consumes it either way.
+                if !self.timers.take(timer) {
                     return true;
                 }
-                if !self.alive.get(actor.index()).copied().unwrap_or(false) {
+                if !is_alive_idx(&self.alive, actor.index()) {
                     return true;
                 }
                 let Some(slot) = self.actors.get_mut(actor.index()) else {
@@ -431,6 +488,19 @@ impl<M: SimMessage> World<M> {
         self.queue.len()
     }
 
+    /// Number of timers currently armed (set but neither fired nor
+    /// cancelled).
+    pub fn pending_timers(&self) -> usize {
+        self.timers.live
+    }
+
+    /// Size of the timer bookkeeping table: the high-water mark of
+    /// *concurrently* armed timers. Stays flat under fire/cancel churn —
+    /// the leak-regression tests assert on this.
+    pub fn timer_slots(&self) -> usize {
+        self.timers.gens.len()
+    }
+
     /// Pre-reserve queue capacity for a run expected to hold up to
     /// `events` simultaneous pending events (purely an allocation hint;
     /// has no observable effect on scheduling).
@@ -441,6 +511,11 @@ impl<M: SimMessage> World<M> {
     /// Total events dispatched since construction (timers included).
     pub fn events_dispatched(&self) -> u64 {
         self.dispatched
+    }
+
+    /// Most events that were ever pending at once (sizing diagnostics).
+    pub fn queue_high_water(&self) -> usize {
+        self.queue.high_water()
     }
 }
 
@@ -583,6 +658,84 @@ mod tests {
         let id = w.add_actor(Box::new(Canceller { fired: false }));
         w.run();
         assert!(w.actor_as::<Canceller>(id).unwrap().fired);
+    }
+
+    #[test]
+    fn cancel_after_fire_leaks_no_bookkeeping() {
+        // Each tick cancels the timer that *already fired* last tick —
+        // the exact race that leaked a `cancelled`-set entry per cancel
+        // under the old tombstone HashSet. With the generation-stamped
+        // table the stale cancel is a no-op and the single slot is
+        // reused for all 200 timers.
+        struct PostFireCanceller {
+            prev: Option<TimerId>,
+            fired: u32,
+        }
+        impl Actor<Ping> for PostFireCanceller {
+            fn on_start(&mut self, ctx: &mut dyn Runtime<Ping>) {
+                ctx.set_timer(SimDuration::from_millis(1), 0);
+            }
+            fn on_message(&mut self, _: &mut dyn Runtime<Ping>, _: ActorId, _: Ping) {}
+            fn on_timer(&mut self, ctx: &mut dyn Runtime<Ping>, timer: TimerId, tag: u64) {
+                if let Some(p) = self.prev.take() {
+                    ctx.cancel_timer(p); // fired a whole tick ago
+                }
+                ctx.cancel_timer(timer); // fired just now
+                self.fired += 1;
+                if tag < 199 {
+                    let next = ctx.set_timer(SimDuration::from_millis(1), tag + 1);
+                    self.prev = Some(next);
+                }
+            }
+            impl_as_any!();
+        }
+        let mut w: World<Ping> = World::new(FixedLatency::new(SimDuration::ZERO), 5);
+        let id = w.add_actor(Box::new(PostFireCanceller {
+            prev: None,
+            fired: 0,
+        }));
+        w.run();
+        assert_eq!(w.actor_as::<PostFireCanceller>(id).unwrap().fired, 200);
+        assert_eq!(w.pending_timers(), 0);
+        assert_eq!(
+            w.timer_slots(),
+            1,
+            "post-fire cancels must not grow timer bookkeeping"
+        );
+    }
+
+    #[test]
+    fn reused_timer_slots_still_give_unique_ids() {
+        // Fire-then-rearm reuses the same slot; the generation stamp
+        // must still make every armed id distinct from its predecessor,
+        // so actors comparing stored ids by equality never confuse two
+        // timers.
+        struct Rearm {
+            seen: Vec<TimerId>,
+        }
+        impl Actor<Ping> for Rearm {
+            fn on_start(&mut self, ctx: &mut dyn Runtime<Ping>) {
+                ctx.set_timer(SimDuration::from_millis(1), 0);
+            }
+            fn on_message(&mut self, _: &mut dyn Runtime<Ping>, _: ActorId, _: Ping) {}
+            fn on_timer(&mut self, ctx: &mut dyn Runtime<Ping>, timer: TimerId, tag: u64) {
+                self.seen.push(timer);
+                if tag < 9 {
+                    ctx.set_timer(SimDuration::from_millis(1), tag + 1);
+                }
+            }
+            impl_as_any!();
+        }
+        let mut w: World<Ping> = World::new(FixedLatency::new(SimDuration::ZERO), 5);
+        let id = w.add_actor(Box::new(Rearm { seen: Vec::new() }));
+        w.run();
+        let seen = &w.actor_as::<Rearm>(id).unwrap().seen;
+        assert_eq!(seen.len(), 10);
+        let mut dedup = seen.clone();
+        dedup.sort_by_key(|t| t.0);
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10, "timer ids must be unique across reuse");
+        assert_eq!(w.timer_slots(), 1, "all ten timers shared one slot");
     }
 
     #[test]

@@ -18,6 +18,83 @@ fn timer(tag: u64) -> Event<()> {
     }
 }
 
+/// Reference scheduler the calendar queue is pinned against: an
+/// unordered vec popped by linear min-scan on `(time, seq)` — trivially
+/// correct, O(n) per pop, used only at test scale.
+#[derive(Default)]
+struct RefQueue {
+    pending: Vec<(u64, u64)>, // (time, tag == insertion seq)
+    next_seq: u64,
+}
+
+impl RefQueue {
+    fn push(&mut self, t: u64) -> u64 {
+        let tag = self.next_seq;
+        self.next_seq += 1;
+        self.pending.push((t, tag));
+        tag
+    }
+
+    fn pop_at_or_before(&mut self, limit: u64) -> Option<(u64, u64)> {
+        let (i, &(t, _)) = self
+            .pending
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &(t, s))| (t, s))?;
+        if t > limit {
+            return None;
+        }
+        Some(self.pending.remove(i))
+    }
+}
+
+/// Drive the calendar queue and the reference model through the same
+/// op sequence — `(kind, x)` decodes to push(time), pop, or
+/// pop_at_or_before(limit) — asserting every pop result matches
+/// bit-for-bit, then drain both to the end.
+///
+/// `time_of` shapes the push-time distribution so each caller stresses
+/// a different queue regime (dense ties, full-range overflow/rebase
+/// churn, sim-like near-horizon clustering).
+fn check_against_reference(ops: &[(u8, u64)], mut time_of: impl FnMut(u64, u64) -> u64) {
+    let mut q: EventQueue<()> = EventQueue::new();
+    let mut r = RefQueue::default();
+    let mut clock = 0u64; // last popped time, for clustered pushes
+    for &(kind, x) in ops {
+        match kind % 3 {
+            0 => {
+                let t = time_of(x, clock);
+                let tag = r.push(t);
+                q.push(SimTime(t), timer(tag));
+            }
+            _ => {
+                let limit = if kind % 3 == 1 { u64::MAX } else { x };
+                let got = q.pop_at_or_before(SimTime(limit)).map(|(t, ev)| match ev {
+                    Event::Timer { tag, .. } => (t.0, tag),
+                    _ => unreachable!(),
+                });
+                let want = r.pop_at_or_before(limit);
+                prop_assert_eq!(got, want, "pop_at_or_before({}) diverged", limit);
+                if let Some((t, _)) = got {
+                    clock = t;
+                }
+            }
+        }
+        prop_assert_eq!(q.len(), r.pending.len());
+    }
+    loop {
+        let got = q.pop().map(|(t, ev)| match ev {
+            Event::Timer { tag, .. } => (t.0, tag),
+            _ => unreachable!(),
+        });
+        let want = r.pop_at_or_before(u64::MAX);
+        prop_assert_eq!(got, want, "drain diverged");
+        if got.is_none() {
+            break;
+        }
+    }
+}
+
 /// Build a sink from generated (counter-index, value) and
 /// (histogram-index, sample) pairs, drawn from a small shared name pool
 /// so sinks overlap on some slots and miss on others.
@@ -62,6 +139,36 @@ proptest! {
             }
             last = Some((t.0, tag));
         }
+    }
+
+    /// Calendar queue matches the reference scheduler bit-for-bit under
+    /// randomized push/pop interleavings with dense time ties.
+    #[test]
+    fn calendar_matches_reference_dense_ties(
+        ops in proptest::collection::vec((any::<u8>(), any::<u64>()), 1..400),
+    ) {
+        check_against_reference(&ops, |x, _| x % 5_000);
+    }
+
+    /// Same pin with times drawn from the full u64 range, stressing the
+    /// overflow heap, window rebasing, and saturated-window clamping.
+    #[test]
+    fn calendar_matches_reference_full_range(
+        ops in proptest::collection::vec((any::<u8>(), any::<u64>()), 1..300),
+    ) {
+        check_against_reference(&ops, |x, _| x);
+    }
+
+    /// Same pin with sim-like clustering: every push lands a link
+    /// latency (~1–2 ms) after the last popped time, the regime the
+    /// bucket auto-tuner targets.
+    #[test]
+    fn calendar_matches_reference_clustered(
+        ops in proptest::collection::vec((any::<u8>(), any::<u64>()), 1..400),
+    ) {
+        check_against_reference(&ops, |x, clock| {
+            clock + 1_000_000 + x % 1_000_000
+        });
     }
 
     /// `sample` is exactly a subset of the pool, distinct, of the

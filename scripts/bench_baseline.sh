@@ -9,6 +9,11 @@
 # into events/sec per protocol. Run it before and after kernel changes
 # and diff the JSON to judge hot-loop work.
 #
+# Every run is also appended as one compact JSON line to
+# results/bench_history.jsonl, so the trend across kernel changes
+# survives; the output file (BENCH_kernel.json by default) always holds
+# the latest run.
+#
 # Usage: scripts/bench_baseline.sh [output.json]
 #   BENCH_NOTE="context string" scripts/bench_baseline.sh   # annotate
 set -euo pipefail
@@ -16,6 +21,7 @@ cd "$(dirname "$0")/.."
 export CARGO_NET_OFFLINE=true
 
 out="${1:-BENCH_kernel.json}"
+history="results/bench_history.jsonl"
 raw=$(cargo bench -p mss-bench --bench session_throughput 2>/dev/null)
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v note="${BENCH_NOTE:-}" '
@@ -46,5 +52,11 @@ END {
     printf "}\n"
 }' <<<"$raw" >"$out"
 
-echo "wrote $out:"
+# Append the same run to the history log as a single line, tagged with
+# the current commit so runs can be correlated with kernel changes.
+commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+tr -d '\n' <"$out" | sed -e 's/  */ /g' -e "s/^{/{\"commit\": \"$commit\",/" >>"$history"
+printf '\n' >>"$history"
+
+echo "wrote $out (history: $history):"
 cat "$out"

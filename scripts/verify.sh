@@ -20,6 +20,15 @@ cargo test -q
 echo "==> full workspace tests"
 cargo test -q --workspace
 
+echo "==> event-queue property tests (calendar queue vs reference model)"
+cargo test -q -p mss-sim --test properties
+
+echo "==> scheduler determinism: fig10/fig12 CSVs must be byte-identical"
+cargo run --release -q -p mss-harness -- fig10 --seeds 16 >/dev/null
+cargo run --release -q -p mss-harness -- fig12 --seeds 16 >/dev/null
+git diff --exit-code -- results/fig10_dcop.csv results/fig12_rate.csv \
+    || { echo "verify.sh: scheduler changed simulation results" >&2; exit 1; }
+
 echo "==> bench smoke (each benchmark runs once in test mode)"
 cargo bench -p mss-bench -- --test
 
