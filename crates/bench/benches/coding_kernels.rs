@@ -1,0 +1,248 @@
+//! Coding-plane kernel benchmarks: word-wide XOR and nibble-table
+//! GF(256) against the scalar byte loops they replaced.
+//!
+//! Every kernel case runs next to a vendored scalar baseline equivalent
+//! to the pre-kernel implementation (per-byte XOR; `EXP[LOG[a] + LOG[b]]`
+//! multiply-accumulate; row-cloning Gaussian elimination), so one bench
+//! run measures the speedup directly — the acceptance bar is ≥2× on XOR
+//! parity encode at 1 KiB and ≥4× on the mul_acc-dominated RS decode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use mss_media::gf256;
+use mss_media::kernels;
+use mss_media::rs;
+
+/// Deterministic pseudo-random payload (no RNG dependency needed).
+fn payload(len: usize, seed: u64) -> Vec<u8> {
+    let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 24) as u8
+        })
+        .collect()
+}
+
+/// XOR parity encode over one recovery segment: fold `h` data packets
+/// of `len` bytes into a parity buffer. Three shapes per case:
+///
+/// - `kernel`: single-pass `xor_fold` into a reused buffer — the shape
+///   `make_parity` uses now (each source read once, destination written
+///   once);
+/// - `scalar`: per-byte pairwise zip folds into the same reused buffer —
+///   the seed's inner loop (LLVM auto-vectorizes this, so it measures
+///   the compiled seed loop, not an abstract one-byte-per-cycle
+///   machine: the kernel's edge over it is the one-pass traffic, not
+///   instruction width);
+/// - `seed_alloc`: chained `xor_payload`-style folds allocating a fresh
+///   buffer per step — the seed's API shape.
+///
+/// The ≥2× criterion at 1 KiB is kernel vs `scalar`.
+fn bench_xor_parity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xor_parity_encode");
+    for len in [1024usize, 8192] {
+        for h in [3usize, 7, 15] {
+            let shards: Vec<Vec<u8>> = (0..h).map(|j| payload(len, j as u64 + 1)).collect();
+            g.throughput(Throughput::Bytes((h * len) as u64));
+            g.bench_with_input(
+                BenchmarkId::new(format!("kernel_h{h}"), len),
+                &len,
+                |b, &len| {
+                    let mut parity = vec![0u8; len];
+                    let refs: Vec<&[u8]> = shards.iter().map(|s| s.as_slice()).collect();
+                    b.iter(|| {
+                        kernels::xor_fold(&mut parity, &refs);
+                        parity[0]
+                    });
+                },
+            );
+            g.bench_with_input(
+                BenchmarkId::new(format!("scalar_h{h}"), len),
+                &len,
+                |b, &len| {
+                    let mut parity = vec![0u8; len];
+                    b.iter(|| {
+                        parity.fill(0);
+                        for s in &shards {
+                            for (d, x) in parity.iter_mut().zip(s.iter()) {
+                                *d ^= *x;
+                            }
+                        }
+                        parity[0]
+                    });
+                },
+            );
+            g.bench_with_input(
+                BenchmarkId::new(format!("seed_alloc_h{h}"), len),
+                &len,
+                |b, _| {
+                    b.iter(|| {
+                        let mut parity = shards[0].clone();
+                        for s in &shards[1..] {
+                            parity = parity
+                                .iter()
+                                .zip(s.iter())
+                                .map(|(x, y)| x ^ y)
+                                .collect::<Vec<u8>>();
+                        }
+                        parity[0]
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+/// The GF(256) multiply-accumulate primitive itself: nibble-table kernel
+/// vs the seed's per-byte `EXP[LOG[c] + LOG[s]]` loop.
+fn bench_mul_acc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gf_mul_acc");
+    for len in [1024usize, 8192] {
+        let src = payload(len, 42);
+        g.throughput(Throughput::Bytes(len as u64));
+        g.bench_with_input(BenchmarkId::new("kernel", len), &len, |b, &len| {
+            let mut dst = vec![0u8; len];
+            b.iter(|| {
+                kernels::mul_acc(&mut dst, &src, 0x57);
+                dst[0]
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("scalar", len), &len, |b, &len| {
+            let mut dst = vec![0u8; len];
+            b.iter(|| {
+                gf256::mul_acc_scalar(&mut dst, &src, 0x57);
+                dst[0]
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("scale_kernel", len), &len, |b, &len| {
+            let mut buf = payload(len, 7);
+            b.iter(|| {
+                kernels::scale(&mut buf, 0xb3);
+                buf[0]
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("scale_scalar", len), &len, |b, &len| {
+            let mut buf = payload(len, 7);
+            b.iter(|| {
+                gf256::scale_scalar(&mut buf, 0xb3);
+                buf[0]
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Scalar RS encode equivalent to the pre-kernel implementation.
+fn encode_scalar(data: &[&[u8]], r: usize) -> Vec<Vec<u8>> {
+    let len = data[0].len();
+    (0..r)
+        .map(|i| {
+            let mut parity = vec![0u8; len];
+            for (j, shard) in data.iter().enumerate() {
+                gf256::mul_acc_scalar(&mut parity, shard, gf256::exp(i * j));
+            }
+            parity
+        })
+        .collect()
+}
+
+/// Scalar RS decode equivalent to the pre-kernel implementation:
+/// per-byte multiply-accumulate and a cloned pivot row per column.
+fn decode_scalar(k: usize, rows_in: &[(Vec<u8>, Vec<u8>)]) -> Option<Vec<Vec<u8>>> {
+    let mut rows = rows_in.to_vec();
+    for col in 0..k {
+        let pivot = (col..rows.len()).find(|&r| rows[r].0[col] != 0)?;
+        rows.swap(col, pivot);
+        let p = rows[col].0[col];
+        if p != 1 {
+            let pinv = gf256::inv(p);
+            gf256::scale_scalar(&mut rows[col].0, pinv);
+            gf256::scale_scalar(&mut rows[col].1, pinv);
+        }
+        let (pivot_coeffs, pivot_payload) = (rows[col].0.clone(), rows[col].1.clone());
+        for (r_i, row) in rows.iter_mut().enumerate() {
+            if r_i == col {
+                continue;
+            }
+            let factor = row.0[col];
+            if factor == 0 {
+                continue;
+            }
+            gf256::mul_acc_scalar(&mut row.0, &pivot_coeffs, factor);
+            gf256::mul_acc_scalar(&mut row.1, &pivot_payload, factor);
+        }
+    }
+    Some(rows.into_iter().take(k).map(|(_, p)| p).collect())
+}
+
+/// Build the surviving-row system for an `r`-data-loss decode: the first
+/// `r` data shards are lost, all parity rows survive.
+fn loss_rows(k: usize, r: usize, data: &[Vec<u8>], parity: &[Vec<u8>]) -> Vec<(Vec<u8>, Vec<u8>)> {
+    let mut rows = Vec::with_capacity(k);
+    for (j, d) in data.iter().enumerate().skip(r) {
+        let mut coeffs = vec![0u8; k];
+        coeffs[j] = 1;
+        rows.push((coeffs, d.clone()));
+    }
+    for (i, p) in parity.iter().enumerate().take(r) {
+        let coeffs: Vec<u8> = (0..k).map(|j| gf256::exp(i * j)).collect();
+        rows.push((coeffs, p.clone()));
+    }
+    rows
+}
+
+/// RS encode/decode sweeps over (k, r) at the paper's 1350-byte packet
+/// size plus the kernel-bench 1 KiB size. Decode loses `r` data shards,
+/// forcing a full elimination — the mul_acc-dominated path.
+fn bench_rs_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rs_sweep");
+    for (k, r) in [(4usize, 2usize), (8, 3), (16, 4)] {
+        for len in [1024usize, 1350] {
+            let data: Vec<Vec<u8>> = (0..k).map(|j| payload(len, (j * 31 + 1) as u64)).collect();
+            let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+            let parity = rs::encode(&refs, r);
+            let param = format!("k{k}_r{r}_{len}B");
+
+            g.throughput(Throughput::Bytes((k * len) as u64));
+            g.bench_with_input(BenchmarkId::new("encode_kernel", &param), &len, |b, _| {
+                b.iter(|| rs::encode(&refs, r));
+            });
+            g.bench_with_input(BenchmarkId::new("encode_scalar", &param), &len, |b, _| {
+                b.iter(|| encode_scalar(&refs, r));
+            });
+
+            // Decode: the public API re-derives rows from shards, so the
+            // kernel side uses rs::decode while the scalar baseline runs
+            // the vendored elimination on the same surviving-row system.
+            let mut shards: Vec<rs::Shard> = data
+                .iter()
+                .enumerate()
+                .skip(r)
+                .map(|(j, d)| rs::Shard::Data(j, d.clone()))
+                .collect();
+            for (i, p) in parity.iter().enumerate() {
+                shards.push(rs::Shard::Parity(i, p.clone()));
+            }
+            let rows = loss_rows(k, r, &data, &parity);
+            assert_eq!(
+                decode_scalar(k, &rows).as_ref(),
+                rs::decode(k, &shards).as_ref(),
+                "scalar baseline must agree with the kernel decoder"
+            );
+            g.bench_with_input(BenchmarkId::new("decode_kernel", &param), &len, |b, _| {
+                b.iter(|| rs::decode(k, &shards).expect("decodable"));
+            });
+            g.bench_with_input(BenchmarkId::new("decode_scalar", &param), &len, |b, _| {
+                b.iter(|| decode_scalar(k, &rows).expect("decodable"));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_xor_parity, bench_mul_acc, bench_rs_sweep);
+criterion_main!(benches);

@@ -158,6 +158,23 @@ impl BytesMut {
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
     }
+
+    /// Clear the buffer, keeping its capacity (for frame-scratch reuse).
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(v: Vec<u8>) -> BytesMut {
+        BytesMut { data: v }
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(b: BytesMut) -> Vec<u8> {
+        b.data
+    }
 }
 
 impl Deref for BytesMut {

@@ -106,12 +106,15 @@ impl LeafActor {
             self.arm_repair(ctx);
             return;
         }
-        // Quiet and incomplete: request the missing packets. One shared
-        // batch; each fan-out target's Nack clone is a refcount bump.
-        let missing: Arc<[mss_media::Seq]> = self.missing_seqs(REPAIR_BATCH).into();
-        if missing.is_empty() {
+        // Quiet and incomplete: request the missing packets. The
+        // popcount fast path means a clean tick allocates nothing; the
+        // batch is only materialized when there is something to NACK.
+        // One shared batch; each fan-out target's Nack clone is a
+        // refcount bump.
+        if self.missing_count() == 0 {
             return;
         }
+        let missing: Arc<[mss_media::Seq]> = self.missing_seqs(REPAIR_BATCH).into();
         self.repair_rounds += 1;
         ctx.metrics().incr("repair.rounds");
         let pool: Vec<PeerId> = self.dir.peers().collect();
@@ -129,15 +132,12 @@ impl LeafActor {
         self.arm_repair(ctx);
     }
 
-    /// Up to `limit` still-missing data seqs, in stream order. `avail`
-    /// records the decode time of every learned packet, so this is a
-    /// plain vector scan with an early stop — no per-seq decoder probe.
+    /// Up to `limit` still-missing data seqs, in stream order — a
+    /// zero-bit walk over the decoder's availability bitmap with an
+    /// early stop.
     fn missing_seqs(&self, limit: usize) -> Vec<mss_media::Seq> {
-        self.avail
-            .iter()
-            .enumerate()
-            .filter(|(_, &t)| t == u64::MAX)
-            .map(|(i, _)| mss_media::Seq(i as u64 + 1))
+        self.decoder
+            .missing_iter(self.cfg.content.packets)
             .take(limit)
             .collect()
     }
@@ -247,7 +247,7 @@ impl LeafActor {
         }
     }
 
-    fn on_data(&mut self, ctx: &mut dyn Runtime<Msg>, id: &PacketId, payload: &[u8]) {
+    fn on_data(&mut self, ctx: &mut dyn Runtime<Msg>, id: &PacketId, payload: &bytes::Bytes) {
         let now = ctx.now().as_nanos();
         self.arm_repair(ctx);
         if let Some(gate) = self.gate.as_mut() {
@@ -258,7 +258,9 @@ impl LeafActor {
         }
         self.accepted += 1;
         self.meter.record(now, payload.len());
-        match self.decoder.insert(id, payload) {
+        // `insert_bytes`: a fresh data packet is adopted by Arc clone —
+        // no payload copy on the common receive path.
+        match self.decoder.insert_bytes(id, payload) {
             InsertOutcome::Learned(seqs) => {
                 // The first learned seq came directly when `id` is a data
                 // packet; everything else was recovered via parity.
@@ -329,6 +331,13 @@ impl LeafActor {
     /// Per-packet availability times (nanos; `u64::MAX` = never).
     pub fn availability(&self) -> &[u64] {
         &self.avail
+    }
+
+    /// The decoder's availability bitmap (bit `s` set ⇔ `t_s` decoded) —
+    /// consistent with [`LeafActor::availability`] and accepted by
+    /// `PlayoutClock::continuity_bits` for word-scanned playout checks.
+    pub fn known_bitmap(&self) -> &mss_media::kernels::Bitmap {
+        self.decoder.known_bitmap()
     }
 
     /// Number of data packets still missing.

@@ -180,6 +180,40 @@ impl PlayoutClock {
         }
         (misses, worst)
     }
+
+    /// [`PlayoutClock::continuity`] with the decoder's availability
+    /// bitmap: never-decoded packets are counted by word-wide popcount
+    /// instead of per-entry sentinel compares, and only decoded entries'
+    /// times are examined.
+    ///
+    /// `decodable` uses 1-based packet bits (bit `k` set ⇔ `t_k` decoded,
+    /// exactly [`crate::parity::Decoder::known_bitmap`]); the caller must
+    /// keep it consistent with `avail` (`avail[k-1] == u64::MAX` ⇔ bit
+    /// `k` clear). Returns identical values to `continuity` under that
+    /// invariant (pinned by the kernel-equivalence tests).
+    pub fn continuity_bits(&self, avail: &[u64], decodable: &crate::kernels::Bitmap) -> (u64, u64) {
+        let Some(_) = self.start else {
+            return (avail.len() as u64, u64::MAX);
+        };
+        let end = avail.len() + 1;
+        let mut misses = decodable.count_zeros(1, end) as u64;
+        // Every never-decoded packet is late by `u64::MAX - deadline`;
+        // the earliest such packet has the smallest deadline and thus
+        // dominates the lateness maximum.
+        let mut worst = match decodable.zeros(1, end).next() {
+            Some(k) => u64::MAX - self.deadline(k as u64).expect("armed"),
+            None => 0,
+        };
+        for k in decodable.ones(1, end) {
+            let a = avail[k - 1];
+            let dl = self.deadline(k as u64).expect("armed");
+            if a > dl {
+                misses += 1;
+                worst = worst.max(a - dl);
+            }
+        }
+        (misses, worst)
+    }
 }
 
 #[cfg(test)]

@@ -70,33 +70,34 @@ impl ContentDesc {
 
     /// The payload of data packet `seq`.
     pub fn payload(&self, seq: Seq) -> Bytes {
-        assert!(
-            seq.0 >= 1 && seq.0 <= self.packets,
-            "seq {seq} out of range"
-        );
+        self.check_seq(seq);
         synth_payload(self.key, seq, self.packet_bytes)
     }
 
     /// Materialize any packet (data, XOR parity, or RS parity) of this
     /// content.
+    ///
+    /// This is the sender hot path (every transmission and NACK
+    /// retransmission materializes), so it performs exactly one
+    /// allocation — the payload itself. Source payloads are synthesized
+    /// word-wise straight into the accumulator (XOR) or into a pooled
+    /// scratch buffer (RS rows).
     pub fn materialize(&self, id: &PacketId) -> Packet {
         let mut buf = vec![0u8; self.packet_bytes];
         match id {
             PacketId::RsParity { seqs, row } => {
-                for (j, s) in seqs.iter().enumerate() {
-                    crate::gf256::mul_acc(
-                        &mut buf,
-                        &self.payload(*s),
-                        crate::gf256::exp(*row as usize * j),
-                    );
-                }
+                crate::kernels::with_scratch(self.packet_bytes, |src| {
+                    for (j, s) in seqs.iter().enumerate() {
+                        self.check_seq(*s);
+                        crate::packet::synth_fill(self.key, *s, src);
+                        crate::gf256::mul_acc(&mut buf, src, crate::gf256::exp(*row as usize * j));
+                    }
+                });
             }
             _ => {
                 for s in id.coverage_slice() {
-                    let p = self.payload(*s);
-                    for (dst, src) in buf.iter_mut().zip(p.iter()) {
-                        *dst ^= src;
-                    }
+                    self.check_seq(*s);
+                    crate::packet::synth_xor_into(self.key, *s, &mut buf);
                 }
             }
         }
@@ -104,6 +105,14 @@ impl ContentDesc {
             id: id.clone(),
             payload: Bytes::from(buf),
         }
+    }
+
+    /// Same bounds check [`ContentDesc::payload`] applies.
+    fn check_seq(&self, seq: Seq) {
+        assert!(
+            seq.0 >= 1 && seq.0 <= self.packets,
+            "seq {seq} out of range"
+        );
     }
 }
 

@@ -83,8 +83,23 @@ pub fn exp(e: usize) -> u8 {
 }
 
 /// Multiply-accumulate a byte slice: `dst[i] ^= c · src[i]`.
-/// The workhorse of RS encode/decode.
+/// The workhorse of RS encode/decode — runs on the word-wide
+/// nibble-table kernel in [`crate::kernels`].
 pub fn mul_acc(dst: &mut [u8], src: &[u8], c: u8) {
+    debug_assert_eq!(dst.len(), src.len());
+    crate::kernels::mul_acc(dst, src, c);
+}
+
+/// Scale a byte slice in place: `buf[i] = c · buf[i]` (nibble-table
+/// kernel; see [`crate::kernels`]).
+pub fn scale(buf: &mut [u8], c: u8) {
+    crate::kernels::scale(buf, c);
+}
+
+/// The pre-kernel byte-at-a-time [`mul_acc`]: the scalar reference the
+/// nibble-table kernel is pinned against (equivalence tests) and the
+/// honest baseline for the `coding_kernels` bench A/B.
+pub fn mul_acc_scalar(dst: &mut [u8], src: &[u8], c: u8) {
     debug_assert_eq!(dst.len(), src.len());
     if c == 0 {
         return;
@@ -103,8 +118,8 @@ pub fn mul_acc(dst: &mut [u8], src: &[u8], c: u8) {
     }
 }
 
-/// Scale a byte slice in place: `buf[i] = c · buf[i]`.
-pub fn scale(buf: &mut [u8], c: u8) {
+/// The pre-kernel byte-at-a-time [`scale`] (scalar reference/baseline).
+pub fn scale_scalar(buf: &mut [u8], c: u8) {
     if c == 1 {
         return;
     }

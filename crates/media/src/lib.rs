@@ -19,7 +19,11 @@
 //! - [`gf256`] / [`rs`]: GF(2⁸) arithmetic and systematic Reed–Solomon
 //!   coding — the multi-loss generalization that makes the paper's
 //!   "(H − h) faulty peers" claim literally true (XOR parity is the
-//!   `r = 1` special case).
+//!   `r = 1` special case),
+//! - [`kernels`]: the vectorized coding plane — word-wide XOR,
+//!   nibble-table GF(256) multiply-accumulate, availability bitmaps, and
+//!   pooled scratch buffers (bit-for-bit equal to the scalar reference
+//!   ops; see `tests/kernel_equivalence.rs`).
 //!
 //! # Example: survive the loss of a whole peer
 //!
@@ -52,6 +56,7 @@ pub mod buffer;
 pub mod content;
 pub mod fxhash;
 pub mod gf256;
+pub mod kernels;
 pub mod packet;
 pub mod parity;
 pub mod rs;

@@ -186,35 +186,68 @@ impl Packet {
     }
 }
 
-/// Deterministic synthetic payload for data packet `seq`: a keyed
-/// byte stream so tests can verify end-to-end reconstruction bit-exactly.
-pub fn synth_payload(content_key: u64, seq: Seq, len: usize) -> Bytes {
-    let mut out = Vec::with_capacity(len);
-    let mut state = content_key
+/// splitmix64 state seed for `(content_key, seq)`.
+#[inline]
+fn synth_state(content_key: u64, seq: Seq) -> u64 {
+    content_key
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add(seq.0.wrapping_mul(0xD1B5_4A32_D192_ED03));
-    while out.len() < len {
-        // splitmix64 step
+        .wrapping_add(seq.0.wrapping_mul(0xD1B5_4A32_D192_ED03))
+}
+
+/// Fold the next synthesized word into `out` via `combine` — one
+/// splitmix64 step per 8 output bytes, word-at-a-time with a byte tail,
+/// byte-identical to [`synth_payload`].
+#[inline]
+fn synth_words(content_key: u64, seq: Seq, out: &mut [u8], combine: impl Fn(u64, u64) -> u64) {
+    let mut state = synth_state(content_key, seq);
+    let mut step = || {
         state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = state;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        let take = (len - out.len()).min(8);
-        out.extend_from_slice(&z.to_le_bytes()[..take]);
+        z ^ (z >> 31)
+    };
+    let mut chunks = out.chunks_exact_mut(8);
+    for chunk in &mut chunks {
+        let cur = u64::from_le_bytes(chunk[..8].try_into().expect("8-byte chunk"));
+        chunk.copy_from_slice(&combine(cur, step()).to_le_bytes());
     }
+    let rem = chunks.into_remainder();
+    if !rem.is_empty() {
+        let z = step().to_le_bytes();
+        let mut cur = [0u8; 8];
+        cur[..rem.len()].copy_from_slice(rem);
+        let folded = combine(u64::from_le_bytes(cur), u64::from_le_bytes(z)).to_le_bytes();
+        rem.copy_from_slice(&folded[..rem.len()]);
+    }
+}
+
+/// Write the synthetic payload of `(content_key, seq)` into `out`
+/// (overwriting it) — the allocation-free form of [`synth_payload`].
+pub fn synth_fill(content_key: u64, seq: Seq, out: &mut [u8]) {
+    synth_words(content_key, seq, out, |_, z| z);
+}
+
+/// XOR the synthetic payload of `(content_key, seq)` into `out` — lets
+/// parity accumulation run word-wide with no per-seq allocation.
+pub fn synth_xor_into(content_key: u64, seq: Seq, out: &mut [u8]) {
+    synth_words(content_key, seq, out, |cur, z| cur ^ z);
+}
+
+/// Deterministic synthetic payload for data packet `seq`: a keyed
+/// byte stream so tests can verify end-to-end reconstruction bit-exactly.
+pub fn synth_payload(content_key: u64, seq: Seq, len: usize) -> Bytes {
+    let mut out = vec![0u8; len];
+    synth_fill(content_key, seq, &mut out);
     Bytes::from(out)
 }
 
 /// XOR two equal-length payloads.
 pub fn xor_payload(a: &[u8], b: &[u8]) -> Bytes {
     assert_eq!(a.len(), b.len(), "payload length mismatch in XOR");
-    Bytes::from(
-        a.iter()
-            .zip(b.iter())
-            .map(|(x, y)| x ^ y)
-            .collect::<Vec<u8>>(),
-    )
+    let mut out = vec![0u8; a.len()];
+    crate::kernels::xor3(&mut out, a, b);
+    Bytes::from(out)
 }
 
 /// Build a parity packet from concrete `parts` (panics if coverage cancels
@@ -223,13 +256,13 @@ pub fn make_parity(parts: &[&Packet]) -> Packet {
     assert!(!parts.is_empty(), "parity over empty segment");
     let ids: Vec<PacketId> = parts.iter().map(|p| p.id.clone()).collect();
     let id = PacketId::parity_of(&ids).expect("parity coverage cancelled to empty");
-    let mut payload = parts[0].payload.to_vec();
+    let len = parts[0].payload.len();
     for p in &parts[1..] {
-        assert_eq!(p.payload.len(), payload.len(), "parity over unequal sizes");
-        for (dst, src) in payload.iter_mut().zip(p.payload.iter()) {
-            *dst ^= src;
-        }
+        assert_eq!(p.payload.len(), len, "parity over unequal sizes");
     }
+    let srcs: Vec<&[u8]> = parts.iter().map(|p| p.payload.as_ref()).collect();
+    let mut payload = vec![0u8; len];
+    crate::kernels::xor_fold(&mut payload, &srcs);
     Packet {
         id,
         payload: Bytes::from(payload),

@@ -205,6 +205,10 @@ type RsRow = (Box<[Seq]>, u8, Vec<u8>);
 #[derive(Default)]
 pub struct Decoder {
     known: HashMap<Seq, Bytes>,
+    /// Word bitmap mirroring `known`'s keys (bit `s` ⇔ `Seq(s)` known):
+    /// `missing_count` is a popcount and `missing_iter` walks zero bits,
+    /// so repair ticks allocate nothing unless they actually NACK.
+    known_bits: crate::kernels::Bitmap,
     /// Pending equations: unknown coverage (sorted) + reduced payload.
     pending: Vec<Option<(Vec<Seq>, Vec<u8>)>>,
     /// seq -> indices into `pending` that mention it.
@@ -216,7 +220,13 @@ pub struct Decoder {
     /// Data seq -> segments covering it (registered once per segment).
     rs_seq_index: HashMap<Seq, Vec<Box<[Seq]>>>,
     inconsistencies: u64,
+    /// Recycled payload buffers from consumed equations — per-packet
+    /// reduction copies draw from here instead of allocating.
+    spare: Vec<Vec<u8>>,
 }
+
+/// Recycled equation buffers kept per decoder.
+const SPARE_CAP: usize = 16;
 
 impl Decoder {
     /// Fresh decoder with no knowledge.
@@ -241,10 +251,30 @@ impl Decoder {
 
     /// Data sequence numbers in `1..=l` not yet recovered.
     pub fn missing(&self, l: u64) -> Vec<Seq> {
-        (1..=l)
-            .map(Seq)
-            .filter(|s| !self.known.contains_key(s))
-            .collect()
+        self.missing_iter(l).collect()
+    }
+
+    /// Iterate the data sequence numbers in `1..=l` not yet recovered,
+    /// ascending, without materializing them — a zero-bit walk over the
+    /// availability bitmap.
+    pub fn missing_iter(&self, l: u64) -> impl Iterator<Item = Seq> + '_ {
+        self.known_bits
+            .zeros(1, (l as usize).saturating_add(1))
+            .map(|i| Seq(i as u64))
+    }
+
+    /// Number of data packets in `1..=l` not yet recovered — a word-wide
+    /// popcount, no allocation.
+    pub fn missing_count(&self, l: u64) -> usize {
+        self.known_bits
+            .count_zeros(1, (l as usize).saturating_add(1))
+    }
+
+    /// The availability bitmap: bit `s` is set once `Seq(s)`'s payload is
+    /// known. Lets playout accounting scan words (see
+    /// [`crate::buffer::PlayoutClock::continuity_bits`]).
+    pub fn known_bitmap(&self) -> &crate::kernels::Bitmap {
+        &self.known_bits
     }
 
     /// Count of packets whose content contradicted earlier knowledge
@@ -256,22 +286,64 @@ impl Decoder {
 
     /// Feed one received packet.
     pub fn insert(&mut self, id: &PacketId, payload: &[u8]) -> InsertOutcome {
+        self.insert_impl(id, payload, None)
+    }
+
+    /// [`Decoder::insert`] for an `Arc`-backed payload: a fresh data
+    /// packet is adopted by reference-count bump instead of copying its
+    /// bytes — the zero-copy leaf receive path. Outcomes are identical
+    /// to `insert` byte-for-byte.
+    pub fn insert_bytes(&mut self, id: &PacketId, payload: &Bytes) -> InsertOutcome {
+        self.insert_impl(id, payload, Some(payload))
+    }
+
+    fn insert_impl(
+        &mut self,
+        id: &PacketId,
+        payload: &[u8],
+        shared: Option<&Bytes>,
+    ) -> InsertOutcome {
         if let PacketId::RsParity { seqs, row } = id {
             return self.insert_rs(seqs, *row, payload);
         }
+        // Fast path: a plain data packet either duplicates known bytes
+        // (checked without copying) or is adopted as-is.
+        if let PacketId::Data(s) = id {
+            if let Some(k) = self.known.get(s) {
+                // Equivalent to reducing the one-unknown equation and
+                // testing the residual: consistent iff the payloads agree
+                // on the common prefix and any excess bytes are zero.
+                let m = payload.len().min(k.len());
+                if payload[..m] != k.as_ref()[..m] || payload[m..].iter().any(|&b| b != 0) {
+                    self.inconsistencies += 1;
+                }
+                return InsertOutcome::Redundant;
+            }
+            let bytes = match shared {
+                Some(b) => b.clone(),
+                None => payload.to_vec().into(),
+            };
+            let mut learned = Vec::new();
+            self.learn(*s, bytes, &mut learned);
+            return InsertOutcome::Learned(learned);
+        }
         let mut cover: Vec<Seq> = id.coverage_slice().to_vec();
-        let mut buf = payload.to_vec();
+        let mut buf = self.take_spare(payload);
         self.reduce(&mut cover, &mut buf);
         match cover.len() {
             0 => {
                 if buf.iter().any(|&b| b != 0) {
                     self.inconsistencies += 1;
                 }
+                self.recycle(buf);
                 InsertOutcome::Redundant
             }
             1 => {
+                let seq = cover[0];
+                let bytes = Bytes::copy_from_slice(&buf);
+                self.recycle(buf);
                 let mut learned = Vec::new();
-                self.learn(cover[0], Bytes::from(buf), &mut learned);
+                self.learn(seq, bytes, &mut learned);
                 InsertOutcome::Learned(learned)
             }
             _ => {
@@ -285,18 +357,38 @@ impl Decoder {
         }
     }
 
-    /// XOR out already-known payloads from an equation.
+    /// A buffer holding a copy of `payload`, recycled from a consumed
+    /// equation when one is available.
+    fn take_spare(&mut self, payload: &[u8]) -> Vec<u8> {
+        let mut buf = self.spare.pop().unwrap_or_default();
+        buf.clear();
+        buf.extend_from_slice(payload);
+        buf
+    }
+
+    /// Return a consumed equation buffer to the pool.
+    fn recycle(&mut self, buf: Vec<u8>) {
+        if self.spare.len() < SPARE_CAP {
+            self.spare.push(buf);
+        }
+    }
+
+    /// XOR out already-known payloads from an equation (word-wide).
     fn reduce(&self, cover: &mut Vec<Seq>, buf: &mut [u8]) {
         cover.retain(|s| {
             if let Some(p) = self.known.get(s) {
-                for (dst, src) in buf.iter_mut().zip(p.iter()) {
-                    *dst ^= src;
-                }
+                crate::kernels::xor_into(buf, p);
                 false
             } else {
                 true
             }
         });
+    }
+
+    /// Record a recovered payload in `known` and its bitmap mirror.
+    fn record_known(&mut self, seq: Seq, payload: Bytes) {
+        self.known_bits.set(seq.0 as usize);
+        self.known.insert(seq, payload);
     }
 
     /// Buffer an RS parity row and attempt to solve its segment.
@@ -306,8 +398,8 @@ impl Decoder {
         }
         let key: Box<[Seq]> = seqs.into();
         let slot = self.rs_rows.len();
-        self.rs_rows
-            .push(Some((key.clone(), row, payload.to_vec())));
+        let row_buf = self.take_spare(payload);
+        self.rs_rows.push(Some((key.clone(), row, row_buf)));
         if !self.rs_segments.contains_key(&key) {
             for s in key.iter() {
                 self.rs_seq_index.entry(*s).or_default().push(key.clone());
@@ -366,7 +458,7 @@ impl Decoder {
         };
         for (j, s) in key.iter().enumerate() {
             if !self.known.contains_key(s) {
-                self.known.insert(*s, Bytes::from(datas[j].clone()));
+                self.record_known(*s, Bytes::from(datas[j].clone()));
                 learned.push(*s);
                 frontier.push(*s);
             }
@@ -377,7 +469,9 @@ impl Decoder {
     fn clear_rs_segment(&mut self, key: &[Seq]) {
         if let Some(slots) = self.rs_segments.remove(key) {
             for sl in slots {
-                self.rs_rows[sl] = None;
+                if let Some((_, _, buf)) = self.rs_rows[sl].take() {
+                    self.recycle(buf);
+                }
             }
         }
     }
@@ -398,16 +492,17 @@ impl Decoder {
                             if buf.iter().any(|&b| b != 0) {
                                 self.inconsistencies += 1;
                             }
+                            self.recycle(buf);
                         }
                         1 => {
                             let ns = cover[0];
-                            if let std::collections::hash_map::Entry::Vacant(e) =
-                                self.known.entry(ns)
-                            {
-                                e.insert(Bytes::from(buf));
+                            if !self.known.contains_key(&ns) {
+                                let bytes = Bytes::copy_from_slice(&buf);
+                                self.record_known(ns, bytes);
                                 learned.push(ns);
                                 frontier.push(ns);
                             }
+                            self.recycle(buf);
                         }
                         _ => {
                             self.pending[slot] = Some((cover, buf));
@@ -433,7 +528,7 @@ impl Decoder {
         if self.known.contains_key(&seq) {
             return;
         }
-        self.known.insert(seq, payload);
+        self.record_known(seq, payload);
         learned.push(seq);
         self.drain_frontier(vec![seq], learned);
     }

@@ -103,7 +103,9 @@ pub fn decode(k: usize, shards: &[Shard]) -> Option<Vec<Vec<u8>>> {
         return None;
     }
 
-    // Gaussian elimination over GF(256).
+    // Gaussian elimination over GF(256). Both the coefficient rows and
+    // the payload rows go through the word-wide `mul_acc` kernel; the
+    // pivot row is temporarily moved out (not cloned) during elimination.
     for col in 0..k {
         // Find a pivot with a nonzero coefficient in `col`.
         let pivot = (col..rows.len()).find(|&r| rows[r].0[col] != 0)?;
@@ -112,29 +114,21 @@ pub fn decode(k: usize, shards: &[Shard]) -> Option<Vec<Vec<u8>>> {
         let p = rows[col].0[col];
         if p != 1 {
             let pinv = gf256::inv(p);
-            for c in rows[col].0.iter_mut() {
-                *c = gf256::mul(*c, pinv);
-            }
+            gf256::scale(&mut rows[col].0, pinv);
             gf256::scale(&mut rows[col].1, pinv);
         }
         // Eliminate `col` from every other row.
-        let (pivot_coeffs, pivot_payload) = {
-            let r = &rows[col];
-            (r.0.clone(), r.1.clone())
-        };
-        for (r, row) in rows.iter_mut().enumerate() {
-            if r == col {
-                continue;
-            }
-            let factor = row.0[col];
+        let (pivot_coeffs, pivot_payload) = std::mem::take(&mut rows[col]);
+        for row in rows.iter_mut() {
+            let factor = row.0.get(col).copied().unwrap_or(0);
             if factor == 0 {
+                // Covers the (empty) pivot slot itself.
                 continue;
             }
-            for (c, pc) in row.0.iter_mut().zip(pivot_coeffs.iter()) {
-                *c ^= gf256::mul(factor, *pc);
-            }
+            gf256::mul_acc(&mut row.0, &pivot_coeffs, factor);
             gf256::mul_acc(&mut row.1, &pivot_payload, factor);
         }
+        rows[col] = (pivot_coeffs, pivot_payload);
     }
     Some(rows.into_iter().take(k).map(|(_, p)| p).collect())
 }

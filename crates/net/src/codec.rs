@@ -219,6 +219,15 @@ fn get_control(buf: &mut impl Buf) -> Result<ControlPacket, CodecError> {
 /// Encode a frame: sender actor id plus message.
 pub fn encode(from: ActorId, msg: &Msg) -> Bytes {
     let mut out = BytesMut::with_capacity(64);
+    encode_into(from, msg, &mut out);
+    out.freeze()
+}
+
+/// [`encode`] into caller-owned scratch: the buffer is cleared and then
+/// holds exactly one frame. Send loops reuse one pooled buffer per
+/// transport instead of allocating per delivery.
+pub fn encode_into(from: ActorId, msg: &Msg, out: &mut BytesMut) {
+    out.clear();
     out.put_u32_le(from.0);
     match msg {
         Msg::Request(r) => {
@@ -232,7 +241,7 @@ pub fn encode(from: ActorId, msg: &Msg) -> Bytes {
             match &r.view {
                 Some(v) => {
                     out.put_u8(1);
-                    put_view(&mut out, v);
+                    put_view(out, v);
                 }
                 None => out.put_u8(0),
             }
@@ -249,7 +258,7 @@ pub fn encode(from: ActorId, msg: &Msg) -> Bytes {
         }
         Msg::Control(c) => {
             out.put_u8(1);
-            put_control(&mut out, c);
+            put_control(out, c);
         }
         Msg::Reply(r) => {
             out.put_u8(2);
@@ -260,7 +269,7 @@ pub fn encode(from: ActorId, msg: &Msg) -> Bytes {
         Msg::Data(d) => {
             out.put_u8(3);
             out.put_u32_le(d.from.0);
-            put_packet_id(&mut out, &d.packet.id);
+            put_packet_id(out, &d.packet.id);
             out.put_u32_le(d.packet.payload.len() as u32);
             out.put_slice(&d.packet.payload);
         }
@@ -296,7 +305,7 @@ pub fn encode(from: ActorId, msg: &Msg) -> Bytes {
             out.put_u32_le(a.parts);
             out.put_u32_le(a.h);
             out.put_u64_le(a.interval_nanos);
-            put_seq(&mut out, &a.sched);
+            put_seq(out, &a.sched);
         }
         Msg::Nack(n) => {
             out.put_u8(6);
@@ -306,7 +315,6 @@ pub fn encode(from: ActorId, msg: &Msg) -> Bytes {
             }
         }
     }
-    out.freeze()
 }
 
 /// Decode a frame produced by [`encode`].

@@ -20,8 +20,10 @@ use mss_sim::event::ActorId;
 use mss_sim::metrics::Metrics;
 
 use crate::bus::ThreadedOutcome;
-use crate::codec::{decode, encode};
+use crate::codec::{decode, encode_into};
 use crate::runtime::{host_actor, Transport};
+use bytes::BytesMut;
+use mss_sim::pool::BufPool;
 
 /// UDP endpoint for one actor.
 pub struct UdpTransport {
@@ -29,6 +31,9 @@ pub struct UdpTransport {
     socket: UdpSocket,
     addrs: Arc<Vec<SocketAddr>>,
     buf: Vec<u8>,
+    /// Recycled frame buffers: every send encodes into pooled scratch
+    /// instead of allocating a fresh frame per delivery.
+    frames: BufPool,
 }
 
 impl UdpTransport {
@@ -39,6 +44,7 @@ impl UdpTransport {
             socket,
             addrs,
             buf: vec![0u8; 65_536],
+            frames: BufPool::default(),
         }
     }
 }
@@ -48,9 +54,11 @@ impl Transport for UdpTransport {
         let Some(addr) = self.addrs.get(to.index()) else {
             return;
         };
-        let frame = encode(self.me, &msg);
+        let mut frame = BytesMut::from(self.frames.take());
+        encode_into(self.me, &msg, &mut frame);
         // Oversized or transient failures are dropped — UDP semantics.
         let _ = self.socket.send_to(&frame, addr);
+        self.frames.put(frame.into());
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Option<(ActorId, Msg)> {

@@ -13,7 +13,9 @@
 //! - [`link`]: pluggable network models (fixed latency, jitter,
 //!   i.i.d. and Gilbert–Elliott bursty loss, bandwidth queueing),
 //! - [`rng`]: a splittable PCG generator so runs are bit-reproducible,
-//! - [`metrics`] / [`hist`]: counters and log-linear histograms.
+//! - [`metrics`] / [`hist`]: counters and log-linear histograms,
+//! - [`pool`]: bounded byte-buffer freelists so live transports frame
+//!   deliveries into recycled scratch instead of fresh allocations.
 //!
 //! # Example
 //!
@@ -57,6 +59,7 @@ pub mod event;
 pub mod hist;
 pub mod link;
 pub mod metrics;
+pub mod pool;
 pub mod rng;
 pub mod time;
 pub mod world;

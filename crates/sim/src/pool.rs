@@ -1,0 +1,79 @@
+//! Reusable byte-buffer pool for per-delivery scratch space.
+//!
+//! The DES world itself moves messages by value (heavy bodies are
+//! `Arc`-shared since the zero-copy message plane), so the simulated link
+//! never copies payloads. The *live* transports do: every UDP send frames
+//! the message into a fresh buffer. [`BufPool`] is the freelist those
+//! per-delivery buffers draw from — `take` hands out a cleared buffer
+//! (recycled when available, freshly allocated otherwise) and `put`
+//! returns it, bounded so a one-off jumbo frame cannot pin memory.
+
+/// A bounded freelist of `Vec<u8>` scratch buffers.
+#[derive(Debug)]
+pub struct BufPool {
+    free: Vec<Vec<u8>>,
+    cap: usize,
+}
+
+impl BufPool {
+    /// A pool retaining at most `cap` idle buffers.
+    pub fn new(cap: usize) -> BufPool {
+        BufPool {
+            free: Vec::new(),
+            cap,
+        }
+    }
+
+    /// An empty (length 0) buffer, recycled when one is available.
+    pub fn take(&mut self) -> Vec<u8> {
+        let mut buf = self.free.pop().unwrap_or_default();
+        buf.clear();
+        buf
+    }
+
+    /// Return a buffer to the freelist (dropped when the pool is full).
+    pub fn put(&mut self, buf: Vec<u8>) {
+        if self.free.len() < self.cap {
+            self.free.push(buf);
+        }
+    }
+
+    /// Idle buffers currently retained.
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+}
+
+impl Default for BufPool {
+    /// A pool retaining up to 8 idle buffers.
+    fn default() -> BufPool {
+        BufPool::new(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_recycles_and_clears() {
+        let mut p = BufPool::new(2);
+        let mut a = p.take();
+        a.extend_from_slice(b"hello");
+        let cap = a.capacity();
+        p.put(a);
+        assert_eq!(p.idle(), 1);
+        let b = p.take();
+        assert!(b.is_empty(), "recycled buffer must be cleared");
+        assert_eq!(b.capacity(), cap, "capacity survives recycling");
+        assert_eq!(p.idle(), 0);
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let mut p = BufPool::new(1);
+        p.put(vec![1]);
+        p.put(vec![2]);
+        assert_eq!(p.idle(), 1, "excess buffers are dropped");
+    }
+}

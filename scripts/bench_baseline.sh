@@ -1,13 +1,20 @@
 #!/usr/bin/env bash
-# Record the DES kernel throughput baseline in BENCH_kernel.json.
+# Record the performance baseline in BENCH_kernel.json.
 #
-# Runs the `session_throughput` bench (one full n=100 streaming session
-# per iteration) and converts the shim's stable stdout lines
+# Runs two benches and converts the shim's stable stdout lines into one
+# JSON document:
 #
-#   DCoP/n100        13.68 ms/iter (0.657 Melem/s)
+#   - `session_throughput` (one full n=100 streaming session per
+#     iteration): "DCoP/n100  13.68 ms/iter (0.657 Melem/s)" becomes
+#     events/sec per protocol;
+#   - `coding_kernels` (word-wide XOR / nibble-table GF(256) vs their
+#     scalar baselines): "kernel_h7/1024  1.23 µs/iter (5678.9 MiB/s)"
+#     becomes MiB/s per case, so kernel-vs-scalar speedups can be read
+#     straight out of the JSON.
 #
-# into events/sec per protocol. Run it before and after kernel changes
-# and diff the JSON to judge hot-loop work.
+# Run it before and after kernel changes and diff the JSON to judge
+# hot-loop work. A missing or broken bench binary is a hard error — no
+# silent skips.
 #
 # Every run is also appended as one compact JSON line to
 # results/bench_history.jsonl, so the trend across kernel changes
@@ -22,35 +29,74 @@ export CARGO_NET_OFFLINE=true
 
 out="${1:-BENCH_kernel.json}"
 history="results/bench_history.jsonl"
-raw=$(cargo bench -p mss-bench --bench session_throughput 2>/dev/null)
 
-awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v note="${BENCH_NOTE:-}" '
-/Melem\/s/ {
-    # "  DCoP/n100   13.68 ms/iter (0.657 Melem/s)"
-    name = $1
-    sub(/\/.*/, "", name)
-    rate = $NF
-    sub(/^\(/, "", $(NF-1))
-    melem = $(NF-1)
-    protos[++n] = name
-    eps[n] = melem * 1e6
-}
-END {
-    if (n == 0) {
-        print "bench_baseline.sh: no benchmark lines parsed" > "/dev/stderr"
+# Benches run with stderr passed through: a missing bench target or a
+# compile error must fail this script, not vanish into a null redirect.
+run_bench() {
+    local name="$1"
+    if ! cargo bench -p mss-bench --bench "$name"; then
+        echo "bench_baseline.sh: bench '$name' failed to build or run" >&2
         exit 1
+    fi
+}
+
+session_raw=$(run_bench session_throughput)
+kernels_raw=$(run_bench coding_kernels)
+
+{
+    printf '{\n'
+    printf '  "recorded": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    if [ -n "${BENCH_NOTE:-}" ]; then
+        printf '  "note": "%s",\n' "$BENCH_NOTE"
+    fi
+
+    printf '  "session_throughput": {\n'
+    printf '    "events_per_sec": {\n'
+    awk '
+    /Melem\/s/ {
+        # "  DCoP/n100   13.68 ms/iter (0.657 Melem/s)"
+        name = $1
+        sub(/\/.*/, "", name)
+        melem = $(NF-1)
+        sub(/^\(/, "", melem)
+        protos[++n] = name
+        eps[n] = melem * 1e6
     }
-    printf "{\n"
-    printf "  \"bench\": \"session_throughput\",\n"
-    printf "  \"recorded\": \"%s\",\n", date
-    if (note != "")
-        printf "  \"note\": \"%s\",\n", note
-    printf "  \"events_per_sec\": {\n"
-    for (i = 1; i <= n; i++)
-        printf "    \"%s\": %.0f%s\n", protos[i], eps[i], (i < n ? "," : "")
-    printf "  }\n"
-    printf "}\n"
-}' <<<"$raw" >"$out"
+    END {
+        if (n == 0) {
+            print "bench_baseline.sh: no session_throughput lines parsed" > "/dev/stderr"
+            exit 1
+        }
+        for (i = 1; i <= n; i++)
+            printf "      \"%s\": %.0f%s\n", protos[i], eps[i], (i < n ? "," : "")
+    }' <<<"$session_raw"
+    printf '    }\n'
+    printf '  },\n'
+
+    printf '  "coding_kernels": {\n'
+    printf '    "mib_per_sec": {\n'
+    awk '
+    # Group headers are unindented single-word lines; entries look like
+    # "  kernel_h7/1024   1.23 us/iter (5678.901 MiB/s)".
+    /^[a-z_]+$/ { group = $1; next }
+    /MiB\/s/ {
+        rate = $(NF-1)
+        sub(/^\(/, "", rate)
+        names[++n] = group "/" $1
+        mibs[n] = rate
+    }
+    END {
+        if (n == 0) {
+            print "bench_baseline.sh: no coding_kernels lines parsed" > "/dev/stderr"
+            exit 1
+        }
+        for (i = 1; i <= n; i++)
+            printf "      \"%s\": %.1f%s\n", names[i], mibs[i], (i < n ? "," : "")
+    }' <<<"$kernels_raw"
+    printf '    }\n'
+    printf '  }\n'
+    printf '}\n'
+} >"$out"
 
 # Append the same run to the history log as a single line, tagged with
 # the current commit so runs can be correlated with kernel changes.

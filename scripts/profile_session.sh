@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Profile a harness run under `perf record` with full symbols.
+#
+# Builds the harness with debug info forced on (symbols survive the
+# release optimization level, so the report shows real function names —
+# kernels::mul_acc, EventQueue::pop — instead of hex), records the run,
+# and prints the top of the report.
+#
+# Usage: scripts/profile_session.sh [harness args...]
+#   scripts/profile_session.sh fig10 --seeds 4        # profile fig10
+#   PERF_OUT=me.data scripts/profile_session.sh fig12 # keep the data file
+#
+# Defaults to `fig10 --seeds 4` when no args are given.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export CARGO_NET_OFFLINE=true
+
+if ! command -v perf >/dev/null 2>&1; then
+    echo "profile_session.sh: 'perf' is not installed or not on PATH." >&2
+    echo "Install linux-perf (or run inside a container that has it)." >&2
+    exit 1
+fi
+
+out="${PERF_OUT:-perf.data}"
+args=("$@")
+if [ ${#args[@]} -eq 0 ]; then
+    args=(fig10 --seeds 4)
+fi
+
+# Debug info without losing optimization: same codegen as the release
+# profile the benches use, plus symbols for the report.
+export CARGO_PROFILE_RELEASE_DEBUG=true
+cargo build --release -p mss-harness
+
+echo "==> perf record: target/release/mss-harness ${args[*]}"
+perf record -g --call-graph dwarf -o "$out" \
+    -- target/release/mss-harness "${args[@]}"
+
+echo "==> hottest functions ($out):"
+perf report -i "$out" --stdio --percent-limit 1 | head -40
+
+echo
+echo "full report: perf report -i $out"

@@ -23,6 +23,9 @@ cargo test -q --workspace
 echo "==> event-queue property tests (calendar queue vs reference model)"
 cargo test -q -p mss-sim --test properties
 
+echo "==> coding-plane kernel equivalence (word-wide kernels vs scalar loops)"
+cargo test -q -p mss-media --test kernel_equivalence
+
 echo "==> scheduler determinism: fig10/fig12 CSVs must be byte-identical"
 cargo run --release -q -p mss-harness -- fig10 --seeds 16 >/dev/null
 cargo run --release -q -p mss-harness -- fig12 --seeds 16 >/dev/null
