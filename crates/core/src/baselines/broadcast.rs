@@ -31,7 +31,7 @@ pub struct BroadcastPeer {
 
 impl BroadcastPeer {
     /// Peer `me` of a broadcast session.
-    pub fn new(me: PeerId, dir: Directory, cfg: SessionConfig) -> BroadcastPeer {
+    pub fn new(me: PeerId, dir: impl Into<Arc<Directory>>, cfg: SessionConfig) -> BroadcastPeer {
         BroadcastPeer {
             core: Core::new(me, dir, cfg),
             heard: 0,
@@ -53,7 +53,7 @@ impl BroadcastPeer {
         self.heard += 1; // self
                          // Maximal redundancy: the whole data sequence at the content rate.
         let assignment = TxSchedule {
-            seq: Arc::new(PacketSeq::data_range(self.core.content().packets)),
+            seq: PacketSeq::data_range(self.core.content().packets).into(),
             pos: 0,
             interval_nanos: req.interval_nanos,
             first_delay_nanos: req.interval_nanos,
@@ -62,7 +62,7 @@ impl BroadcastPeer {
         self.core.record_activation(ctx, req.wave);
         // Group-communication state exchange with every other peer.
         let view = Arc::new(self.core.piggyback_view(&[]));
-        let empty = Arc::new(PacketSeq::new());
+        let empty = mss_media::SeqView::empty();
         let me = self.core.me;
         let peers: Vec<PeerId> = self.core.dir.peers().filter(|p| *p != me).collect();
         for peer in peers {
@@ -79,6 +79,7 @@ impl BroadcastPeer {
                 parts: 0,
                 h: req.h,
                 fanout: req.fanout,
+                basis: None,
             };
             let to = self.core.dir.actor_of(peer);
             self.core.send_coord(ctx, to, Msg::Control(msg));

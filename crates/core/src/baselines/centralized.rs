@@ -8,6 +8,8 @@
 //! until the slowest peer has voted — the single-point-of-failure,
 //! latency-bound design the flooding protocols improve on.
 
+use std::sync::Arc;
+
 use mss_sim::prelude::*;
 
 use crate::config::SessionConfig;
@@ -33,7 +35,7 @@ pub struct CentralizedPeer {
 
 impl CentralizedPeer {
     /// Peer `me` of a centralized session.
-    pub fn new(me: PeerId, dir: Directory, cfg: SessionConfig) -> CentralizedPeer {
+    pub fn new(me: PeerId, dir: impl Into<Arc<Directory>>, cfg: SessionConfig) -> CentralizedPeer {
         CentralizedPeer {
             core: Core::new(me, dir, cfg),
             votes: 0,

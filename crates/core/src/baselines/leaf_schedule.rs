@@ -6,6 +6,8 @@
 //! proportional to the content), the leaf must know every peer's
 //! capability up front, and nothing adapts once streaming starts.
 
+use std::sync::Arc;
+
 use mss_sim::prelude::*;
 
 use crate::config::SessionConfig;
@@ -21,7 +23,7 @@ pub struct SchedulePeer {
 
 impl SchedulePeer {
     /// Peer `me` of a leaf-schedule session.
-    pub fn new(me: PeerId, dir: Directory, cfg: SessionConfig) -> SchedulePeer {
+    pub fn new(me: PeerId, dir: impl Into<Arc<Directory>>, cfg: SessionConfig) -> SchedulePeer {
         SchedulePeer {
             core: Core::new(me, dir, cfg),
         }
@@ -34,7 +36,7 @@ impl SchedulePeer {
 
     fn on_assign(&mut self, ctx: &mut dyn Runtime<Msg>, a: ScheduleAssignment) {
         let assignment = TxSchedule {
-            seq: std::sync::Arc::new(a.sched),
+            seq: a.sched.into(),
             pos: 0,
             interval_nanos: a.interval_nanos,
             first_delay_nanos: a.interval_nanos.saturating_mul(u64::from(a.part) + 1)

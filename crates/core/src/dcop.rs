@@ -18,19 +18,24 @@ use mss_sim::prelude::*;
 use crate::config::SessionConfig;
 use crate::msg::{ContentRequest, ControlKind, ControlPacket, Msg};
 use crate::peer_core::{Core, PeerReport, TAG_SEND, TAG_SWITCH};
-use crate::schedule::{derived_assignment_opts, initial_assignment_opts};
+use crate::plane::{PlanePeer, RoundShared};
+use crate::schedule::{derived_assignment_opts, DivisionBasis};
 use mss_overlay::{Directory, PeerId};
 
 /// A contents peer running DCoP.
 pub struct DcopPeer {
     core: Core,
+    /// Round scratch for solo hosting; plane hosting substitutes the
+    /// plane-wide instance (see [`crate::plane`]).
+    shared: RoundShared,
 }
 
 impl DcopPeer {
     /// Peer `me` of a DCoP session.
-    pub fn new(me: PeerId, dir: Directory, cfg: SessionConfig) -> DcopPeer {
+    pub fn new(me: PeerId, dir: impl Into<Arc<Directory>>, cfg: SessionConfig) -> DcopPeer {
         DcopPeer {
             core: Core::new(me, dir, cfg),
+            shared: RoundShared::default(),
         }
     }
 
@@ -40,68 +45,77 @@ impl DcopPeer {
     }
 
     /// §3.4 step 2: activation by the leaf's content request.
-    fn on_request(&mut self, ctx: &mut dyn Runtime<Msg>, req: ContentRequest) {
+    fn on_request(
+        &mut self,
+        ctx: &mut dyn Runtime<Msg>,
+        shared: &mut RoundShared,
+        req: ContentRequest,
+    ) {
         if let Some(v) = &req.view {
             self.core.view.union_with(v);
         }
-        let assignment = match &req.weights {
-            Some(w) => crate::schedule::weighted_initial_assignment(
-                self.core.content().packets,
-                req.h as usize,
-                w,
-                req.part as usize,
-                req.interval_nanos,
-                self.core.cfg.tail_parity,
-                self.core.cfg.coding,
-            ),
-            None => initial_assignment_opts(
-                self.core.content().packets,
-                req.h as usize,
-                req.parts as usize,
-                req.part as usize,
-                req.interval_nanos,
+        let assignment = self.core.request_assignment(&req, shared);
+        self.core.adopt(ctx, assignment);
+        self.core.record_activation(ctx, req.wave);
+        self.select_and_spawn(ctx, shared, req.wave + 1);
+    }
+
+    /// §3.4 step 3: a control packet from a parent.
+    fn on_control(
+        &mut self,
+        ctx: &mut dyn Runtime<Msg>,
+        shared: &mut RoundShared,
+        c: ControlPacket,
+    ) {
+        if c.kind != ControlKind::Activate {
+            // DCoP speaks only `Activate`; anything else (a misrouted
+            // probe, commit or announce) is dropped — and counted, so the
+            // drop is observable — instead of being misread as an
+            // activation.
+            self.core.count_unexpected_control(ctx);
+            return;
+        }
+        self.core.view.insert(c.from);
+        self.core.view.union_with(&c.view);
+        // An in-session packet carries the parent's pre-derived division
+        // basis; a wire-decoded one doesn't, and the child re-derives it
+        // from the recipe — identical by `DivisionBasis`'s contract.
+        let assignment = match &c.basis {
+            Some(b) => b.assign(c.parts as usize, c.part as usize),
+            None => derived_assignment_opts(
+                &c.sched,
+                c.pos as usize,
+                c.interval_nanos,
+                c.mark_delta_nanos,
+                c.h as usize,
+                c.parts as usize,
+                c.part as usize,
+                self.core.cfg.reenhance,
                 self.core.cfg.tail_parity,
                 self.core.cfg.coding,
             ),
         };
-        self.core.adopt(ctx, assignment);
-        self.core.record_activation(ctx, req.wave);
-        self.select_and_spawn(ctx, req.wave + 1);
-    }
-
-    /// §3.4 step 3: a control packet from a parent.
-    fn on_control(&mut self, ctx: &mut dyn Runtime<Msg>, c: ControlPacket) {
-        debug_assert_eq!(c.kind, ControlKind::Activate);
-        self.core.view.insert(c.from);
-        self.core.view.union_with(&c.view);
-        let assignment = derived_assignment_opts(
-            c.sched.as_ref(),
-            c.pos as usize,
-            c.interval_nanos,
-            c.mark_delta_nanos,
-            c.h as usize,
-            c.parts as usize,
-            c.part as usize,
-            self.core.cfg.reenhance,
-            self.core.cfg.tail_parity,
-            self.core.cfg.coding,
-        );
         let was_active = self.core.active;
         self.core.adopt(ctx, assignment);
         self.core.record_activation(ctx, c.wave);
         if !was_active || self.core.cfg.reselect_on_every_control {
-            self.select_and_spawn(ctx, c.wave + 1);
+            self.select_and_spawn(ctx, shared, c.wave + 1);
         }
     }
 
     /// Select up to `H` children, assign them parts of this peer's
     /// re-divided schedule, and schedule this peer's own switch at δ.
-    fn select_and_spawn(&mut self, ctx: &mut dyn Runtime<Msg>, wave: u32) {
+    fn select_and_spawn(
+        &mut self,
+        ctx: &mut dyn Runtime<Msg>,
+        shared: &mut RoundShared,
+        wave: u32,
+    ) {
         if self.core.view.is_full() {
             return;
         }
         let fanout = self.core.cfg.fanout;
-        let children = self.core.select_children(fanout);
+        let children = self.core.select_children_in(fanout, &mut shared.pool);
         if children.is_empty() {
             return; // C = φ: stop selecting.
         }
@@ -116,6 +130,20 @@ impl DcopPeer {
             let (b, p, d) = self.core.effective_basis();
             (b.seq.clone(), p as u32, d, b.interval_nanos, !was_pending)
         };
+        // One derivation for the whole fan-out: each child gets the basis
+        // in its control packet and deals out its own part, instead of
+        // all `parts` peers repeating the mark/re-enhance computation.
+        let basis = DivisionBasis::derive(
+            &sched,
+            pos as usize,
+            interval,
+            mark_delta,
+            h,
+            self.core.cfg.reenhance,
+            self.core.cfg.tail_parity,
+            self.core.cfg.coding,
+        );
+        debug_assert!(shared.outbox.is_empty());
         for (j, child) in children.iter().enumerate() {
             let packet = ControlPacket {
                 kind: ControlKind::Activate,
@@ -130,45 +158,62 @@ impl DcopPeer {
                 parts: parts as u32,
                 h: h as u32,
                 fanout: fanout as u32,
+                basis: Some(basis.clone()),
             };
             let to = self.core.dir.actor_of(*child);
-            self.core.send_coord(ctx, to, Msg::Control(packet));
+            shared.outbox.push((to, Msg::Control(packet)));
         }
+        self.core.send_coord_batch(ctx, &mut shared.outbox);
         // The parent keeps part 0 of the same division, switching at δ.
-        let own = derived_assignment_opts(
-            &sched,
-            pos as usize,
-            interval,
-            mark_delta,
-            h,
-            parts,
-            0,
-            self.core.cfg.reenhance,
-            self.core.cfg.tail_parity,
-            self.core.cfg.coding,
-        );
+        let own = basis.assign(parts, 0);
         let live_mark = basis_is_live
             .then(|| crate::schedule::mark_position(pos as usize, interval, mark_delta));
         self.core.arm_switch(ctx, own, live_mark);
     }
 }
 
-impl Actor<Msg> for DcopPeer {
-    fn on_message(&mut self, ctx: &mut dyn Runtime<Msg>, _from: ActorId, msg: Msg) {
+impl PlanePeer for DcopPeer {
+    fn plane_message(
+        &mut self,
+        ctx: &mut dyn Runtime<Msg>,
+        shared: &mut RoundShared,
+        _from: ActorId,
+        msg: Msg,
+    ) {
         match msg {
-            Msg::Request(req) => self.on_request(ctx, req),
-            Msg::Control(c) => self.on_control(ctx, c),
+            Msg::Request(req) => self.on_request(ctx, shared, req),
+            Msg::Control(c) => self.on_control(ctx, shared, c),
             Msg::Nack(n) => self.core.on_nack(ctx, &n),
             _ => {}
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut dyn Runtime<Msg>, _timer: TimerId, tag: u64) {
+    fn plane_timer(
+        &mut self,
+        ctx: &mut dyn Runtime<Msg>,
+        _shared: &mut RoundShared,
+        _timer: TimerId,
+        tag: u64,
+    ) {
         match tag {
             TAG_SEND => self.core.on_send_timer(ctx),
             TAG_SWITCH => self.core.on_switch_timer(ctx),
             _ => {}
         }
+    }
+}
+
+impl Actor<Msg> for DcopPeer {
+    fn on_message(&mut self, ctx: &mut dyn Runtime<Msg>, from: ActorId, msg: Msg) {
+        let mut shared = std::mem::take(&mut self.shared);
+        self.plane_message(ctx, &mut shared, from, msg);
+        self.shared = shared;
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn Runtime<Msg>, timer: TimerId, tag: u64) {
+        let mut shared = std::mem::take(&mut self.shared);
+        self.plane_timer(ctx, &mut shared, timer, tag);
+        self.shared = shared;
     }
 
     mss_sim::impl_as_any!();

@@ -28,7 +28,7 @@ const REPAIR_BATCH: usize = 512;
 pub struct LeafActor {
     cfg: SessionConfig,
     protocol: Protocol,
-    dir: Directory,
+    dir: Arc<Directory>,
     gate: Option<OverrunGate>,
     decoder: Decoder,
     meter: ReceiptMeter,
@@ -54,7 +54,7 @@ impl LeafActor {
     pub fn new(
         cfg: SessionConfig,
         protocol: Protocol,
-        dir: Directory,
+        dir: impl Into<Arc<Directory>>,
         gate: Option<OverrunGate>,
     ) -> LeafActor {
         let l = cfg.content.packets as usize;
@@ -62,7 +62,7 @@ impl LeafActor {
         LeafActor {
             cfg,
             protocol,
-            dir,
+            dir: dir.into(),
             gate,
             decoder: Decoder::new(),
             meter: ReceiptMeter::new(),

@@ -61,6 +61,7 @@ pub mod metrics;
 pub mod msg;
 pub mod multi;
 pub mod peer_core;
+pub mod plane;
 pub mod schedule;
 pub mod session;
 pub mod tcop;

@@ -33,6 +33,12 @@ pub const COORD_FIXED_ROUNDS: &str = "coord.fixed_rounds";
 /// Data packets sent by contents peers.
 pub const DATA_MSGS: &str = "data.msgs";
 
+/// Control packets whose kind the receiving protocol does not handle
+/// (e.g. an `Announce` reaching a DCoP peer). Such packets are dropped —
+/// this counter makes the drop observable instead of silently treating
+/// the packet as whatever kind the handler expected.
+pub const COORD_UNEXPECTED_KIND: &str = "coord.unexpected_kind";
+
 /// Interned slot id for [`COORD_MSGS`] (bumped on every coordination
 /// send — worth skipping the by-name lookup).
 pub fn coord_msgs_id() -> MetricId {
@@ -51,6 +57,12 @@ pub fn coord_bytes_id() -> MetricId {
 pub fn data_msgs_id() -> MetricId {
     static ID: OnceLock<MetricId> = OnceLock::new();
     *ID.get_or_init(|| mss_sim::metrics::register(DATA_MSGS))
+}
+
+/// Interned slot id for [`COORD_UNEXPECTED_KIND`].
+pub fn coord_unexpected_kind_id() -> MetricId {
+    static ID: OnceLock<MetricId> = OnceLock::new();
+    *ID.get_or_init(|| mss_sim::metrics::register(COORD_UNEXPECTED_KIND))
 }
 
 /// Consolidated result of one session run.

@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 
-use mss_media::{Packet, PacketSeq};
+use mss_media::{Packet, PacketSeq, SeqView};
 use mss_overlay::{PeerId, View};
 use mss_sim::world::SimMessage;
 
@@ -70,9 +70,10 @@ pub struct ControlPacket {
     /// each per-child clone is a refcount bump, not a bitset copy.
     pub view: Arc<View>,
     /// The parent's current schedule — the basis for the child's postfix
-    /// computation. Carried as a recipe on the wire (see module docs);
-    /// shared via `Arc` so fanning out to many children is cheap.
-    pub sched: Arc<PacketSeq>,
+    /// computation. Carried as a recipe on the wire (see module docs); a
+    /// strided [`mss_media::SeqView`] into the parent's division basis,
+    /// so fanning out to many children clones O(1) views, never packets.
+    pub sched: SeqView,
     /// `SEQ`: the parent's position in `sched` when this packet was sent
     /// (index of the next packet to transmit).
     pub pos: u32,
@@ -89,6 +90,15 @@ pub struct ControlPacket {
     pub h: u32,
     /// Fan-out `H` the child should use for its own selection.
     pub fanout: u32,
+    /// Pre-derived division basis: the sender's postfix, re-enhanced,
+    /// plus slot pacing — everything part-independent about this
+    /// division (see [`crate::schedule::DivisionBasis`]). Like `sched`,
+    /// this is a derivation cache, not wire content: it is fully
+    /// determined by the recipe fields above, so codecs drop it and a
+    /// receiver without one re-derives (`None`) with identical results.
+    /// Shipping it spares each of the `parts` receivers the
+    /// mark/re-enhance recomputation.
+    pub basis: Option<crate::schedule::DivisionBasis>,
 }
 
 /// TCoP `cc1`: the child's reply to a probe.
@@ -233,7 +243,7 @@ mod tests {
             from: PeerId(0),
             wave: 1,
             view: Arc::new(View::empty(n)),
-            sched: Arc::new(PacketSeq::data_range(10)),
+            sched: PacketSeq::data_range(10).into(),
             pos: 0,
             interval_nanos: 1000,
             mark_delta_nanos: 0,
@@ -241,6 +251,7 @@ mod tests {
             parts: 4,
             h: 3,
             fanout: 4,
+            basis: None,
         }
     }
 
@@ -265,7 +276,7 @@ mod tests {
     fn control_wire_size_scales_with_population_not_schedule() {
         let small = Msg::Control(control(ControlKind::Probe, 100));
         let mut big = control(ControlKind::Probe, 100);
-        big.sched = Arc::new(PacketSeq::data_range(100_000));
+        big.sched = PacketSeq::data_range(100_000).into();
         let big = Msg::Control(big);
         assert_eq!(small.wire_size(), big.wire_size());
         let wider = Msg::Control(control(ControlKind::Probe, 800));

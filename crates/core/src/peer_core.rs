@@ -5,14 +5,17 @@
 //! message handlers; the `Core` owns everything that is identical across
 //! DCoP, TCoP and the baselines.
 
+use std::sync::Arc;
+
 use mss_media::ContentDesc;
-use mss_overlay::select::select_from_complement;
+use mss_overlay::select::{select_from_complement, select_from_complement_with};
 use mss_overlay::{Directory, PeerId, View};
 use mss_sim::prelude::*;
 
 use crate::config::{Piggyback, SessionConfig};
 use crate::metrics as mnames;
-use crate::msg::{DataMsg, Msg};
+use crate::msg::{ContentRequest, DataMsg, Msg};
+use crate::plane::RoundShared;
 use crate::schedule::{merge_assignment, TxSchedule};
 
 /// Timer tag: transmit the next scheduled packet.
@@ -23,14 +26,16 @@ pub const TAG_SWITCH: u64 = 2;
 pub const TAG_REPLY_TIMEOUT: u64 = 3;
 
 /// Snapshot of a peer's state for post-run analysis.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PeerReport {
     /// Peer identity.
     pub me: PeerId,
     /// Whether the peer ever started transmitting.
     pub active: bool,
-    /// Activation wave (0 when never activated).
-    pub wave: u32,
+    /// Activation wave; `None` when never activated. (A sentinel `0`
+    /// would be ambiguous: wire-decoded requests can legitimately carry
+    /// wave 0, so an activated peer's wave can be 0.)
+    pub wave: Option<u32>,
     /// Virtual/wall nanoseconds of first activation (u64::MAX if never).
     pub activated_nanos: u64,
     /// Final per-packet interval (u64::MAX when idle).
@@ -47,8 +52,10 @@ pub struct PeerReport {
 pub struct Core {
     /// This peer's identity.
     pub me: PeerId,
-    /// Directory of the session.
-    pub dir: Directory,
+    /// Directory of the session, shared across all its peers: `n` peers
+    /// holding one refcounted directory instead of `n` copied actor
+    /// tables.
+    pub dir: Arc<Directory>,
     /// Session parameters.
     pub cfg: SessionConfig,
     /// Perceived-active view `VW_i` (always contains `me`).
@@ -78,14 +85,15 @@ pub struct Core {
 }
 
 impl Core {
-    /// Core for peer `me` of a session.
-    pub fn new(me: PeerId, dir: Directory, cfg: SessionConfig) -> Core {
+    /// Core for peer `me` of a session. Accepts a plain [`Directory`]
+    /// (wrapped on the spot) or an already-shared `Arc<Directory>`.
+    pub fn new(me: PeerId, dir: impl Into<Arc<Directory>>, cfg: SessionConfig) -> Core {
         let mut view = View::empty(cfg.n);
         view.insert(me);
         let rng = SimRng::new(cfg.seed).fork(1000 + u64::from(me.0));
         Core {
             me,
-            dir,
+            dir: dir.into(),
             cfg,
             view,
             active: false,
@@ -110,7 +118,7 @@ impl Core {
         PeerReport {
             me: self.me,
             active: self.active,
-            wave: self.wave,
+            wave: self.active.then_some(self.wave),
             activated_nanos: self.activated_nanos,
             interval_nanos: self.sched.interval_nanos,
             sched_len: self.sched.seq.len(),
@@ -127,6 +135,73 @@ impl Core {
         ctx.metrics()
             .add_id(mnames::coord_bytes_id(), msg.wire_size() as u64);
         ctx.send(to, msg);
+    }
+
+    /// [`Core::send_coord`] for a whole fan-out at once: drains `batch`
+    /// through [`Runtime::send_batch`] and maintains the Figure-10/11
+    /// counters with two adds instead of two per message. Send order —
+    /// and therefore the seeded event stream — is identical to sending
+    /// the batch elements one by one.
+    pub fn send_coord_batch(
+        &mut self,
+        ctx: &mut dyn Runtime<Msg>,
+        batch: &mut Vec<(ActorId, Msg)>,
+    ) {
+        if batch.is_empty() {
+            return;
+        }
+        let mut bytes = 0u64;
+        for (_, msg) in batch.iter() {
+            debug_assert!(msg.is_coordination());
+            bytes += msg.wire_size() as u64;
+        }
+        ctx.metrics()
+            .add_id(mnames::coord_msgs_id(), batch.len() as u64);
+        ctx.metrics().add_id(mnames::coord_bytes_id(), bytes);
+        ctx.send_batch(batch);
+    }
+
+    /// Count (and thereby observably drop) a control packet whose kind
+    /// this protocol has no handler for.
+    pub fn count_unexpected_control(&mut self, ctx: &mut dyn Runtime<Msg>) {
+        ctx.metrics().incr_id(mnames::coord_unexpected_kind_id());
+    }
+
+    /// The initial assignment a leaf content request confers on this
+    /// peer — weighted when the request carries bandwidth weights,
+    /// uniform otherwise. Both divisions start from the full content's
+    /// enhanced sequence, which `shared` memoizes across the peers of a
+    /// plane (every part of one request enhances identical input).
+    pub fn request_assignment(
+        &mut self,
+        req: &ContentRequest,
+        shared: &mut RoundShared,
+    ) -> TxSchedule {
+        let enhanced = shared.enhanced_content(
+            self.cfg.content.packets,
+            req.h as usize,
+            self.cfg.tail_parity,
+            self.cfg.coding,
+        );
+        match &req.weights {
+            Some(w) => crate::schedule::weighted_initial_from_enhanced(
+                &enhanced,
+                self.cfg.content.packets,
+                w,
+                req.part as usize,
+                req.interval_nanos,
+            ),
+            None => {
+                // The uniform initial division is a `DivisionBasis` with
+                // the content-rate slot; each part is an O(1) strided
+                // view of the shared enhanced sequence.
+                let slot = (req.interval_nanos as u128 * self.cfg.content.packets as u128
+                    / enhanced.len().max(1) as u128)
+                    .max(1) as u64;
+                crate::schedule::DivisionBasis::new(enhanced, slot)
+                    .assign(req.parts as usize, req.part as usize)
+            }
+        }
     }
 
     /// Mark this peer active (first time only), updating the
@@ -311,6 +386,17 @@ impl Core {
     /// view (they are now perceived active / claimed).
     pub fn select_children(&mut self, m: usize) -> Vec<PeerId> {
         let picked = select_from_complement(&self.view, m, &mut self.rng);
+        for p in &picked {
+            self.view.insert(*p);
+        }
+        picked
+    }
+
+    /// [`Core::select_children`] drawing through caller-owned pool
+    /// scratch (one complement buffer per plane instead of one per
+    /// selection). Consumes the identical RNG stream.
+    pub fn select_children_in(&mut self, m: usize, pool: &mut Vec<PeerId>) -> Vec<PeerId> {
+        let picked = select_from_complement_with(&self.view, m, &mut self.rng, pool);
         for p in &picked {
             self.view.insert(*p);
         }

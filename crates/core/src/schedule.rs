@@ -10,8 +10,8 @@
 
 use std::sync::Arc;
 
-use mss_media::parity::{div, div_ids, enhance, Coding};
-use mss_media::{PacketId, PacketSeq};
+use mss_media::parity::{enhance, Coding};
+use mss_media::{PacketId, PacketSeq, SeqView};
 
 use crate::config::Reenhance;
 
@@ -27,11 +27,12 @@ use crate::config::Reenhance;
 /// interchangeable.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TxSchedule {
-    /// Packets to send, in order. Behind `Arc`: a schedule, once derived,
-    /// is immutable (updates replace the whole sequence), so sharing the
-    /// division basis into control packets and clones of the live
-    /// schedule are refcount bumps instead of O(|sched|) copies.
-    pub seq: Arc<PacketSeq>,
+    /// Packets to send, in order — a strided view into the refcounted
+    /// division basis. A schedule, once derived, is immutable (updates
+    /// replace the whole view), so cloning a schedule or dealing out a
+    /// round-robin part is O(1): an `Arc` bump plus stride arithmetic,
+    /// never an element copy (see [`mss_media::SeqView`]).
+    pub seq: SeqView,
     /// Index of the next packet to send.
     pub pos: usize,
     /// Nanoseconds between consecutive packet transmissions; `0` and
@@ -49,7 +50,7 @@ impl TxSchedule {
     /// An empty, idle schedule.
     pub fn idle() -> TxSchedule {
         TxSchedule {
-            seq: Arc::new(PacketSeq::new()),
+            seq: SeqView::empty(),
             pos: 0,
             interval_nanos: u64::MAX,
             first_delay_nanos: u64::MAX,
@@ -71,9 +72,9 @@ impl TxSchedule {
         self.pos >= self.seq.len()
     }
 
-    /// Packets not yet sent.
+    /// Packets not yet sent, materialized.
     pub fn remaining(&self) -> PacketSeq {
-        self.seq.postfix_at(self.pos)
+        PacketSeq::from_ids(self.seq.iter_from(self.pos).cloned().collect())
     }
 
     /// Sending rate in packets/second (0 when idle).
@@ -138,21 +139,38 @@ pub fn initial_assignment_opts(
     tail_parity: bool,
     coding: Coding,
 ) -> TxSchedule {
-    let enhanced = enhance(
+    let enhanced = Arc::new(enhance(
         &PacketSeq::data_range(content_packets),
         h,
         tail_parity,
         coding,
-    );
+    ));
+    initial_assignment_from_enhanced(
+        &enhanced,
+        content_packets,
+        parts,
+        part,
+        content_interval_nanos,
+    )
+}
+
+/// The division step of [`initial_assignment_opts`] given an
+/// already-enhanced content stream. The enhanced sequence depends only on
+/// `(content_packets, h, tail_parity, coding)` — constants of a session —
+/// so a plane hosting many peers computes it once
+/// ([`crate::plane::RoundShared::enhanced_content`]) and each activation
+/// takes its part as an O(1) strided view of the shared sequence.
+pub fn initial_assignment_from_enhanced(
+    enhanced: &Arc<PacketSeq>,
+    content_packets: u64,
+    parts: usize,
+    part: usize,
+    content_interval_nanos: u64,
+) -> TxSchedule {
     let slot = (content_interval_nanos as u128 * content_packets as u128
         / enhanced.len().max(1) as u128)
         .max(1) as u64;
-    TxSchedule {
-        seq: Arc::new(div(&enhanced, parts, part)),
-        pos: 0,
-        interval_nanos: slot.saturating_mul(parts as u64),
-        first_delay_nanos: slot.saturating_mul(part as u64 + 1),
-    }
+    DivisionBasis::new(enhanced.clone(), slot).assign(parts, part)
 }
 
 /// Heterogeneous initial assignment (the paper's §2 allocation applied
@@ -172,18 +190,38 @@ pub fn weighted_initial_assignment(
     tail_parity: bool,
     coding: Coding,
 ) -> TxSchedule {
-    // `my_index` is derived from a control packet; an out-of-range value
-    // means the sender allocated us nothing — idle, not a crash.
-    debug_assert!(my_index < weights.len(), "{my_index} ≥ {}", weights.len());
-    if my_index >= weights.len() {
-        return TxSchedule::idle();
-    }
     let enhanced = enhance(
         &PacketSeq::data_range(content_packets),
         h,
         tail_parity,
         coding,
     );
+    weighted_initial_from_enhanced(
+        &enhanced,
+        content_packets,
+        weights,
+        my_index,
+        content_interval_nanos,
+    )
+}
+
+/// The allocation step of [`weighted_initial_assignment`] given an
+/// already-enhanced content stream (see
+/// [`initial_assignment_from_enhanced`] for why the enhancement is
+/// computed separately).
+pub fn weighted_initial_from_enhanced(
+    enhanced: &PacketSeq,
+    content_packets: u64,
+    weights: &[u64],
+    my_index: usize,
+    content_interval_nanos: u64,
+) -> TxSchedule {
+    // `my_index` is derived from a control packet; an out-of-range value
+    // means the sender allocated us nothing — idle, not a crash.
+    debug_assert!(my_index < weights.len(), "{my_index} ≥ {}", weights.len());
+    if my_index >= weights.len() {
+        return TxSchedule::idle();
+    }
     let e = enhanced.len();
     if e == 0 {
         return TxSchedule::idle();
@@ -204,7 +242,7 @@ pub fn weighted_initial_assignment(
     let interval = (window / count).max(1) as u64;
     let first_delay = ((window * mine[0] as u128) / e as u128).max(1) as u64;
     TxSchedule {
-        seq: Arc::new(seq),
+        seq: seq.into(),
         pos: 0,
         interval_nanos: interval,
         first_delay_nanos: first_delay,
@@ -238,7 +276,7 @@ pub fn mark_position(pos_at_send: usize, interval_nanos: u64, delta_nanos: u64) 
 /// paper's `τ_i = τ_j(h+1)/(h(H+1))` when the lengths divide evenly.
 #[allow(clippy::too_many_arguments)]
 pub fn derived_assignment(
-    parent_sched: &PacketSeq,
+    parent_sched: &SeqView,
     pos_at_send: usize,
     parent_interval_nanos: u64,
     delta_nanos: u64,
@@ -265,7 +303,7 @@ pub fn derived_assignment(
 /// (see [`mss_media::parity::esq_opts`]).
 #[allow(clippy::too_many_arguments)]
 pub fn derived_assignment_opts(
-    parent_sched: &PacketSeq,
+    parent_sched: &SeqView,
     pos_at_send: usize,
     parent_interval_nanos: u64,
     delta_nanos: u64,
@@ -276,71 +314,152 @@ pub fn derived_assignment_opts(
     tail_parity: bool,
     coding: Coding,
 ) -> TxSchedule {
-    let mark = mark_position(pos_at_send, parent_interval_nanos, delta_nanos);
-    // Work on the postfix as a borrowed slice of the parent's schedule:
-    // deriving happens on every control-packet receipt, and materializing
-    // a PacketSeq copy here would be the single largest cost of the whole
-    // coordination hot path.
-    let postfix: &[PacketId] = parent_sched.ids().get(mark..).unwrap_or(&[]);
-    if mode == Reenhance::None {
-        if postfix.is_empty() {
+    DivisionBasis::derive(
+        parent_sched,
+        pos_at_send,
+        parent_interval_nanos,
+        delta_nanos,
+        h,
+        mode,
+        tail_parity,
+        coding,
+    )
+    .assign(parts, part)
+}
+
+/// The part-independent half of a division: the re-protected postfix
+/// every part is dealt from, plus the pacing of one enhanced-stream
+/// slot.
+///
+/// All `parts` schedules of one fan-out — the parent's own part 0 and
+/// each child's part — derive from identical inputs except the part
+/// index, so the mark/postfix/re-enhance work is the same computation
+/// repeated `parts` times. A parent computes the basis once
+/// ([`DivisionBasis::derive`]) and ships it inside the control packet as
+/// a derivation cache; every receiver then deals out its own part with
+/// [`DivisionBasis::assign`] in O(1) — a strided [`SeqView`] over the
+/// shared basis, no element ever copied. The wire format is unchanged:
+/// like the in-memory `sched`, the basis is re-derivable from the
+/// packet's recipe fields, so it contributes nothing to
+/// [`crate::msg::Msg::wire_size`] and codecs simply drop it (a decoding
+/// receiver falls back to deriving from the recipe — bit-identical, per
+/// this type's contract).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DivisionBasis {
+    /// The re-protected postfix the division deals out round-robin.
+    /// Empty ⇔ every part of this division is [`TxSchedule::idle`].
+    pub enhanced: Arc<PacketSeq>,
+    /// Pacing of one enhanced-stream slot in nanoseconds: part `i` of
+    /// `parts` sends every `slot · parts` ns starting at `slot · (i+1)`.
+    pub slot_nanos: u64,
+}
+
+impl DivisionBasis {
+    /// Basis over an already-enhanced sequence with an explicit slot —
+    /// the initial-division form, where `enhanced` is the protected full
+    /// content and the slot is one content-rate packet interval.
+    pub fn new(enhanced: Arc<PacketSeq>, slot_nanos: u64) -> DivisionBasis {
+        DivisionBasis {
+            enhanced,
+            slot_nanos,
+        }
+    }
+
+    /// A basis whose every assignment is idle.
+    fn idle() -> DivisionBasis {
+        DivisionBasis::new(Arc::new(PacketSeq::new()), u64::MAX)
+    }
+
+    /// Compute the shared basis of a division of `parent_sched` (see
+    /// [`derived_assignment_opts`] for the semantics of each argument).
+    #[allow(clippy::too_many_arguments)]
+    pub fn derive(
+        parent_sched: &SeqView,
+        pos_at_send: usize,
+        parent_interval_nanos: u64,
+        delta_nanos: u64,
+        h: usize,
+        mode: Reenhance,
+        tail_parity: bool,
+        coding: Coding,
+    ) -> DivisionBasis {
+        let mark = mark_position(pos_at_send, parent_interval_nanos, delta_nanos);
+        // The postfix is iterated straight off the parent's view — never
+        // materialized: every mode below builds its (re-protected) basis
+        // in one pass over `iter_from(mark)`.
+        let postfix_len = parent_sched.len().saturating_sub(mark);
+        if postfix_len == 0 {
+            return DivisionBasis::idle();
+        }
+        let postfix = parent_sched.iter_from(mark);
+        if mode == Reenhance::None {
+            return DivisionBasis::new(
+                Arc::new(PacketSeq::from_ids(postfix.cloned().collect())),
+                parent_interval_nanos,
+            );
+        }
+        let basis = match mode {
+            Reenhance::None => unreachable!("handled above"),
+            Reenhance::Nested => PacketSeq::from_ids(postfix.cloned().collect()),
+            // Distinct data packets only: parity is regenerated fresh, and
+            // `h = 1` duplicates (parity of a single packet IS that packet)
+            // must not multiply across division levels.
+            Reenhance::DataOnly => {
+                // Enhanced/divided schedules keep data seqs strictly
+                // ascending, so one ordered pass usually proves
+                // distinctness; only out-of-order postfixes (multi-parent
+                // merges) pay for a dedup set.
+                let mut data: Vec<PacketId> = Vec::with_capacity(postfix_len);
+                let mut last = 0u64; // data seqs start at 1
+                let mut ascending = true;
+                for p in postfix.clone() {
+                    if let PacketId::Data(s) = p {
+                        if s.0 <= last {
+                            ascending = false;
+                            break;
+                        }
+                        last = s.0;
+                        data.push(p.clone());
+                    }
+                }
+                if !ascending {
+                    data.clear();
+                    let mut seen = mss_media::fxhash::FxHashSet::default();
+                    data.extend(
+                        postfix
+                            .filter(|p| matches!(p, PacketId::Data(s) if seen.insert(s.0)))
+                            .cloned(),
+                    );
+                }
+                PacketSeq::from_ids(data)
+            }
+        };
+        let enhanced = enhance(&basis, h, tail_parity, coding);
+        if enhanced.is_empty() {
+            return DivisionBasis::idle();
+        }
+        let slot = (parent_interval_nanos as u128 * postfix_len as u128 / enhanced.len() as u128)
+            .max(1) as u64;
+        DivisionBasis::new(Arc::new(enhanced), slot)
+    }
+
+    /// Deal out part `part` of `parts`. With the same inputs this returns
+    /// exactly what [`derived_assignment_opts`] returns — that function
+    /// *is* `derive(..).assign(parts, part)`.
+    ///
+    /// O(1): the part is a strided [`SeqView`] over the shared basis
+    /// (an `Arc` bump plus stride arithmetic) — every receiver of one
+    /// fan-out reads its share out of the same underlying sequence.
+    pub fn assign(&self, parts: usize, part: usize) -> TxSchedule {
+        if self.enhanced.is_empty() {
             return TxSchedule::idle();
         }
-        return TxSchedule {
-            seq: Arc::new(div_ids(postfix, parts, part)),
+        TxSchedule {
+            seq: SeqView::part(self.enhanced.clone(), parts, part),
             pos: 0,
-            interval_nanos: parent_interval_nanos.saturating_mul(parts as u64),
-            first_delay_nanos: parent_interval_nanos.saturating_mul(part as u64 + 1),
-        };
-    }
-    let basis = match mode {
-        Reenhance::None => unreachable!("handled above"),
-        Reenhance::Nested => PacketSeq::from_ids(postfix.to_vec()),
-        // Distinct data packets only: parity is regenerated fresh, and
-        // `h = 1` duplicates (parity of a single packet IS that packet)
-        // must not multiply across division levels.
-        Reenhance::DataOnly => {
-            // Enhanced/divided schedules keep data seqs strictly
-            // ascending, so one ordered pass usually proves distinctness;
-            // only out-of-order postfixes (multi-parent merges) pay for a
-            // dedup set.
-            let mut data: Vec<PacketId> = Vec::with_capacity(postfix.len());
-            let mut last = 0u64; // data seqs start at 1
-            let mut ascending = true;
-            for p in postfix {
-                if let PacketId::Data(s) = p {
-                    if s.0 <= last {
-                        ascending = false;
-                        break;
-                    }
-                    last = s.0;
-                    data.push(p.clone());
-                }
-            }
-            if !ascending {
-                data.clear();
-                let mut seen = mss_media::fxhash::FxHashSet::default();
-                data.extend(
-                    postfix
-                        .iter()
-                        .filter(|p| matches!(p, PacketId::Data(s) if seen.insert(s.0)))
-                        .cloned(),
-                );
-            }
-            PacketSeq::from_ids(data)
+            interval_nanos: self.slot_nanos.saturating_mul(parts as u64),
+            first_delay_nanos: self.slot_nanos.saturating_mul(part as u64 + 1),
         }
-    };
-    let enhanced = enhance(&basis, h, tail_parity, coding);
-    if enhanced.is_empty() || postfix.is_empty() {
-        return TxSchedule::idle();
-    }
-    let slot = (parent_interval_nanos as u128 * postfix.len() as u128 / enhanced.len() as u128)
-        .max(1) as u64;
-    TxSchedule {
-        seq: Arc::new(div(&enhanced, parts, part)),
-        pos: 0,
-        interval_nanos: slot.saturating_mul(parts as u64),
-        first_delay_nanos: slot.saturating_mul(part as u64 + 1),
     }
 }
 
@@ -349,12 +468,28 @@ pub fn derived_assignment_opts(
 /// remainder of the current schedule is unioned with the new assignment
 /// (readiness order); the rates add (harmonic interval), since the child
 /// must deliver both parents' shares on time.
+///
+/// Both operands stay borrowed: the unsent tail and the incoming
+/// assignment are iterated straight off their strided views and the
+/// union merges directly into the output sequence
+/// ([`PacketSeq::union_iters`]), with no intermediate postfix copy or
+/// throwaway index build.
 pub fn merge_assignment(current: &TxSchedule, incoming: &TxSchedule) -> TxSchedule {
-    let mut seq = current.remaining();
-    seq.merge_into(&incoming.seq);
+    // Single-sided unions need no union at all, just a reference to the
+    // surviving side — and both shapes are common: deep divisions hand
+    // out many empty parts (the union is the unsent tail, an O(1) suffix
+    // view), and a freshly-activated or exhausted child has no tail (the
+    // union is the incoming view verbatim).
+    let seq = if incoming.seq.is_empty() {
+        current.seq.suffix(current.pos)
+    } else if current.pos >= current.seq.len() {
+        incoming.seq.clone()
+    } else {
+        PacketSeq::union_iters(current.seq.iter_from(current.pos), incoming.seq.iter()).into()
+    };
     let interval = harmonic_interval(current.interval_nanos, incoming.interval_nanos);
     TxSchedule {
-        seq: Arc::new(seq),
+        seq,
         pos: 0,
         interval_nanos: interval,
         first_delay_nanos: current
@@ -432,7 +567,7 @@ mod tests {
 
     #[test]
     fn derived_assignments_partition_the_postfix() {
-        let parent = PacketSeq::data_range(30);
+        let parent = SeqView::from(PacketSeq::data_range(30));
         let shares: Vec<TxSchedule> = (0..3)
             .map(|i| derived_assignment(&parent, 4, 1_000, 6_000, 2, 3, i, Reenhance::Nested))
             .collect();
@@ -442,7 +577,7 @@ mod tests {
         // The union of shares contains every postfix data packet.
         let mut all = PacketSeq::new();
         for s in &shares {
-            all = all.union(&s.seq);
+            all = all.union(&s.seq.to_seq());
         }
         for t in 11..=30u64 {
             assert!(
@@ -479,7 +614,7 @@ mod tests {
         assert!(merged.seq.contains(&PacketId::Data(Seq(99))));
         // Already-sent packets do not reappear.
         let sent0 = cur.seq.get(0).cloned().unwrap();
-        if !cur.seq.postfix_at(3).contains(&sent0) {
+        if !cur.seq.to_seq().postfix_at(3).contains(&sent0) {
             assert!(!merged.seq.contains(&sent0));
         }
     }
@@ -533,8 +668,114 @@ mod tests {
 
     #[test]
     fn derivation_past_the_end_is_empty() {
-        let parent = PacketSeq::data_range(5);
+        let parent = SeqView::from(PacketSeq::data_range(5));
         let s = derived_assignment(&parent, 5, 1_000, 10_000, 2, 2, 0, Reenhance::Nested);
         assert!(s.seq.is_empty());
+    }
+
+    #[test]
+    fn basis_assign_matches_derived_assignment_everywhere() {
+        // A shipped basis must hand every part exactly what that part
+        // would have derived locally, or parent and children would
+        // disagree on the division.
+        let merged = {
+            // An out-of-order parent schedule (multi-parent merge shape)
+            // to exercise the DataOnly dedup-set path too.
+            let a = initial_assignment(12, 2, 2, 0, 1_000);
+            let b = initial_assignment(12, 2, 2, 1, 1_000);
+            merge_assignment(&a, &b)
+        };
+        let parents = [
+            SeqView::from(PacketSeq::data_range(30)),
+            SeqView::from(enhance(&PacketSeq::data_range(17), 3, true, Coding::Xor)),
+            // A strided parent too: divisions must compose.
+            SeqView::part(std::sync::Arc::new(PacketSeq::data_range(29)), 3, 1),
+            merged.seq.clone(),
+            SeqView::empty(),
+        ];
+        for parent in &parents {
+            for mode in [Reenhance::None, Reenhance::Nested, Reenhance::DataOnly] {
+                for (pos, interval, delta) in [
+                    (0, 1_000, 0),
+                    (4, 1_000, 6_000),
+                    (40, 1_000, 0),
+                    (0, u64::MAX, 5_000),
+                ] {
+                    let parts = 3;
+                    let basis = DivisionBasis::derive(
+                        parent,
+                        pos,
+                        interval,
+                        delta,
+                        2,
+                        mode,
+                        true,
+                        Coding::Xor,
+                    );
+                    for part in 0..parts {
+                        let direct = derived_assignment_opts(
+                            parent,
+                            pos,
+                            interval,
+                            delta,
+                            2,
+                            parts,
+                            part,
+                            mode,
+                            true,
+                            Coding::Xor,
+                        );
+                        let via_basis = basis.assign(parts, part);
+                        assert_eq!(via_basis.seq, direct.seq, "{mode:?} part {part}");
+                        assert_eq!(via_basis.interval_nanos, direct.interval_nanos);
+                        assert_eq!(via_basis.first_delay_nanos, direct.first_delay_nanos);
+                        assert_eq!(via_basis.pos, direct.pos);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_union_of_unsent_and_incoming() {
+        // The slice-based merge must produce exactly
+        // remaining() ∪ incoming, duplicates collapsed, order stable.
+        let mut cur = initial_assignment(20, 2, 2, 0, 1_000);
+        cur.pos = 5;
+        let incoming = initial_assignment(20, 2, 2, 1, 1_000);
+        let merged = merge_assignment(&cur, &incoming);
+        let mut reference = cur.remaining();
+        reference.merge_into(&incoming.seq.to_seq());
+        assert_eq!(merged.seq.to_seq(), reference);
+        // Membership queries must work on the merged seq.
+        for id in reference.ids() {
+            assert!(merged.seq.contains(id));
+        }
+    }
+
+    #[test]
+    fn merge_of_strided_views_matches_materialized_union() {
+        // Both operands strided (the protocol's common case: two parts of
+        // different fan-outs), partially sent — the iterator union must
+        // equal the slice union over the materialized sequences.
+        let basis_a = DivisionBasis::new(
+            Arc::new(enhance(&PacketSeq::data_range(23), 2, true, Coding::Xor)),
+            700,
+        );
+        let basis_b = DivisionBasis::new(
+            Arc::new(enhance(&PacketSeq::data_range(31), 3, true, Coding::Xor)),
+            900,
+        );
+        for (pa, pb) in [(0, 0), (1, 2), (2, 1)] {
+            let mut cur = basis_a.assign(3, pa);
+            cur.pos = 2;
+            let inc = basis_b.assign(3, pb);
+            let merged = merge_assignment(&cur, &inc);
+            let expect = PacketSeq::union_slices(
+                cur.seq.to_seq().ids().get(2..).unwrap_or(&[]),
+                inc.seq.to_seq().ids(),
+            );
+            assert_eq!(merged.seq.to_seq(), expect, "parts {pa}/{pb}");
+        }
     }
 }

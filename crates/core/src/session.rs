@@ -14,6 +14,8 @@
 //! assert!(outcome.complete);
 //! ```
 
+use std::sync::Arc;
+
 use mss_media::buffer::OverrunGate;
 use mss_overlay::{Directory, PeerId};
 use mss_sim::event::ActorId;
@@ -29,6 +31,7 @@ use crate::metrics as mnames;
 use crate::metrics::SessionOutcome;
 use crate::msg::Msg;
 use crate::peer_core::PeerReport;
+use crate::plane::Plane;
 use crate::tcop::TcopPeer;
 
 /// Crash-stop fault injector: kills listed peers at listed times.
@@ -50,6 +53,18 @@ impl Actor<Msg> for FaultInjector {
     mss_sim::impl_as_any!();
 }
 
+/// How the session's contents peers are hosted in the world.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Hosting {
+    /// All peers of the protocol in one flat [`Plane`] group sharing
+    /// round scratch (see [`crate::plane`]) — the default for the
+    /// protocols that support it. Bit-for-bit identical to [`Solo`](Hosting::Solo).
+    Plane,
+    /// One boxed actor per peer (the seed layout). Baselines always use
+    /// this.
+    Solo,
+}
+
 /// Builder for one streaming session.
 pub struct Session {
     cfg: SessionConfig,
@@ -58,6 +73,7 @@ pub struct Session {
     gate: Option<OverrunGate>,
     faults: Vec<(SimDuration, PeerId)>,
     limit: SimTime,
+    hosting: Hosting,
 }
 
 impl Session {
@@ -81,12 +97,20 @@ impl Session {
             gate: None,
             faults: Vec::new(),
             limit: SimTime::MAX,
+            hosting: Hosting::Plane,
         }
     }
 
     /// Replace the network model.
     pub fn link(mut self, link: impl LinkModel + 'static) -> Session {
         self.link = Box::new(link);
+        self
+    }
+
+    /// Host the peers as solo actors or as one plane group (protocols
+    /// without a plane implementation ignore this and stay solo).
+    pub fn hosting(mut self, hosting: Hosting) -> Session {
+        self.hosting = hosting;
         self
     }
 
@@ -122,6 +146,7 @@ impl Session {
             gate,
             faults,
             limit,
+            hosting,
         } = self;
         let mut world: World<Msg> = World::new(link, cfg.seed);
         let n = cfg.n;
@@ -129,11 +154,32 @@ impl Session {
         // per-peer timer churn; pre-reserving avoids repeated heap growth
         // in the event queue during the streaming phase.
         world.reserve_events(cfg.content.packets as usize * 2 + n * 8);
-        let dir = Directory::new((0..n as u32).map(ActorId).collect(), ActorId(n as u32));
-        for i in 0..n {
-            let me = PeerId(i as u32);
-            let id = world.add_actor(make_peer(protocol, me, dir.clone(), cfg.clone()));
-            debug_assert_eq!(id, dir.actor_of(me));
+        let dir = Arc::new(Directory::new(
+            (0..n as u32).map(ActorId).collect(),
+            ActorId(n as u32),
+        ));
+        let peers = dir.peers();
+        match (hosting, protocol) {
+            (Hosting::Plane, Protocol::Dcop | Protocol::Unicast) => {
+                let members: Vec<DcopPeer> = peers
+                    .map(|me| DcopPeer::new(me, dir.clone(), cfg.clone()))
+                    .collect();
+                let first = world.add_group(n, Box::new(Plane::new(members)));
+                debug_assert_eq!(first, dir.actor_of(PeerId(0)));
+            }
+            (Hosting::Plane, Protocol::Tcop) => {
+                let members: Vec<TcopPeer> = peers
+                    .map(|me| TcopPeer::new(me, dir.clone(), cfg.clone()))
+                    .collect();
+                let first = world.add_group(n, Box::new(Plane::new(members)));
+                debug_assert_eq!(first, dir.actor_of(PeerId(0)));
+            }
+            _ => {
+                for me in peers {
+                    let id = world.add_actor(make_peer(protocol, me, dir.clone(), cfg.clone()));
+                    debug_assert_eq!(id, dir.actor_of(me));
+                }
+            }
         }
         let leaf_id = world.add_actor(Box::new(LeafActor::new(
             cfg.clone(),
@@ -160,10 +206,9 @@ impl Session {
     }
 }
 
-/// Downcast any hosted contents-peer actor to its report (works for the
-/// simulator and for the live runtimes in `mss-net`).
-pub fn report_of(actor: &dyn Actor<Msg>, protocol: Protocol) -> Option<PeerReport> {
-    let any = actor.as_any();
+/// Downcast a hosted contents peer (behind its [`std::any::Any`] face,
+/// whether solo- or plane-hosted) to its report.
+pub fn report_from_any(any: &dyn std::any::Any, protocol: Protocol) -> Option<PeerReport> {
     match protocol {
         Protocol::Dcop | Protocol::Unicast => any.downcast_ref::<DcopPeer>().map(|p| p.report()),
         Protocol::Tcop => any.downcast_ref::<TcopPeer>().map(|p| p.report()),
@@ -173,14 +218,21 @@ pub fn report_of(actor: &dyn Actor<Msg>, protocol: Protocol) -> Option<PeerRepor
     }
 }
 
+/// Downcast any hosted contents-peer actor to its report (works for the
+/// simulator and for the live runtimes in `mss-net`).
+pub fn report_of(actor: &dyn Actor<Msg>, protocol: Protocol) -> Option<PeerReport> {
+    report_from_any(actor.as_any(), protocol)
+}
+
 /// Construct a contents-peer actor of the given protocol (shared by the
 /// simulator session builder and the live runtimes).
 pub fn make_peer(
     protocol: Protocol,
     me: PeerId,
-    dir: Directory,
+    dir: impl Into<Arc<Directory>>,
     cfg: SessionConfig,
 ) -> Box<dyn Actor<Msg>> {
+    let dir = dir.into();
     match protocol {
         Protocol::Dcop | Protocol::Unicast => Box::new(DcopPeer::new(me, dir, cfg)),
         Protocol::Tcop => Box::new(TcopPeer::new(me, dir, cfg)),
@@ -196,8 +248,8 @@ pub fn peer_reports(world: &World<Msg>, protocol: Protocol, dir: &Directory) -> 
         .map(|p| {
             let id = dir.actor_of(p);
             world
-                .actor_as_dyn(id)
-                .and_then(|a| report_of(a, protocol))
+                .actor_any(id)
+                .and_then(|a| report_from_any(a, protocol))
                 .expect("peer type")
         })
         .collect()

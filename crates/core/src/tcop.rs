@@ -16,7 +16,8 @@ use crate::config::SessionConfig;
 use crate::metrics as mnames;
 use crate::msg::{ContentRequest, ControlKind, ControlPacket, Msg, ProbeReply};
 use crate::peer_core::{Core, PeerReport, TAG_REPLY_TIMEOUT, TAG_SEND, TAG_SWITCH};
-use crate::schedule::{derived_assignment_opts, initial_assignment_opts};
+use crate::plane::{PlanePeer, RoundShared};
+use crate::schedule::{derived_assignment_opts, DivisionBasis};
 use mss_overlay::{Directory, PeerId};
 
 /// In-flight probe round state on the parent side.
@@ -38,15 +39,19 @@ pub struct TcopPeer {
     /// claimed peer rejects further probes — the non-redundancy rule.
     has_parent: bool,
     probe: Option<ProbeRound>,
+    /// Round scratch for solo hosting; plane hosting substitutes the
+    /// plane-wide instance (see [`crate::plane`]).
+    shared: RoundShared,
 }
 
 impl TcopPeer {
     /// Peer `me` of a TCoP session.
-    pub fn new(me: PeerId, dir: Directory, cfg: SessionConfig) -> TcopPeer {
+    pub fn new(me: PeerId, dir: impl Into<Arc<Directory>>, cfg: SessionConfig) -> TcopPeer {
         TcopPeer {
             core: Core::new(me, dir, cfg),
             has_parent: false,
             probe: None,
+            shared: RoundShared::default(),
         }
     }
 
@@ -61,42 +66,35 @@ impl TcopPeer {
     }
 
     /// §3.5 step 1-2: activation by the leaf's content request.
-    fn on_request(&mut self, ctx: &mut dyn Runtime<Msg>, req: ContentRequest) {
+    fn on_request(
+        &mut self,
+        ctx: &mut dyn Runtime<Msg>,
+        shared: &mut RoundShared,
+        req: ContentRequest,
+    ) {
         if let Some(v) = &req.view {
             self.core.view.union_with(v);
         }
         self.has_parent = true; // parent is the leaf
-        let assignment = match &req.weights {
-            Some(w) => crate::schedule::weighted_initial_assignment(
-                self.core.content().packets,
-                req.h as usize,
-                w,
-                req.part as usize,
-                req.interval_nanos,
-                self.core.cfg.tail_parity,
-                self.core.cfg.coding,
-            ),
-            None => initial_assignment_opts(
-                self.core.content().packets,
-                req.h as usize,
-                req.parts as usize,
-                req.part as usize,
-                req.interval_nanos,
-                self.core.cfg.tail_parity,
-                self.core.cfg.coding,
-            ),
-        };
+        let assignment = self.core.request_assignment(&req, shared);
         self.core.adopt(ctx, assignment);
         self.core.record_activation(ctx, req.wave);
-        self.start_probe(ctx, req.wave + 1);
+        self.start_probe(ctx, shared, req.wave + 1);
     }
 
     /// §3.5 step 2: `Aselect` a candidate set and probe it.
-    fn start_probe(&mut self, ctx: &mut dyn Runtime<Msg>, child_wave: u32) {
+    fn start_probe(
+        &mut self,
+        ctx: &mut dyn Runtime<Msg>,
+        shared: &mut RoundShared,
+        child_wave: u32,
+    ) {
         if self.probe.is_some() || self.core.view.is_full() {
             return;
         }
-        let candidates = self.core.select_children(self.core.cfg.fanout);
+        let candidates = self
+            .core
+            .select_children_in(self.core.cfg.fanout, &mut shared.pool);
         if candidates.is_empty() {
             return;
         }
@@ -104,7 +102,8 @@ impl TcopPeer {
         ctx.metrics()
             .set_max(mnames::COORD_PROBE_WAVES, u64::from(child_wave - 1));
         let view = Arc::new(self.core.piggyback_view(&candidates));
-        let empty_sched = Arc::new(mss_media::PacketSeq::new());
+        let empty_sched = mss_media::SeqView::empty();
+        debug_assert!(shared.outbox.is_empty());
         for child in &candidates {
             let probe = ControlPacket {
                 kind: ControlKind::Probe,
@@ -119,10 +118,12 @@ impl TcopPeer {
                 parts: 0,
                 h: self.core.cfg.parity_interval as u32,
                 fanout: self.core.cfg.fanout as u32,
+                basis: None,
             };
             let to = self.core.dir.actor_of(*child);
-            self.core.send_coord(ctx, to, Msg::Control(probe));
+            shared.outbox.push((to, Msg::Control(probe)));
         }
+        self.core.send_coord_batch(ctx, &mut shared.outbox);
         let timer = ctx.set_timer(self.core.cfg.reply_timeout, TAG_REPLY_TIMEOUT);
         self.probe = Some(ProbeRound {
             child_wave,
@@ -154,7 +155,7 @@ impl TcopPeer {
     }
 
     /// §3.5 step 4: collect confirmations.
-    fn on_reply(&mut self, ctx: &mut dyn Runtime<Msg>, r: ProbeReply) {
+    fn on_reply(&mut self, ctx: &mut dyn Runtime<Msg>, shared: &mut RoundShared, r: ProbeReply) {
         let Some(round) = self.probe.as_mut() else {
             return; // late reply after timeout
         };
@@ -168,12 +169,12 @@ impl TcopPeer {
         if round.outstanding == 0 {
             let timer = round.timer;
             ctx.cancel_timer(timer);
-            self.finish_probe(ctx);
+            self.finish_probe(ctx, shared);
         }
     }
 
     /// §3.5 steps 4–6: commit the confirmed children and re-divide.
-    fn finish_probe(&mut self, ctx: &mut dyn Runtime<Msg>) {
+    fn finish_probe(&mut self, ctx: &mut dyn Runtime<Msg>, shared: &mut RoundShared) {
         let Some(round) = self.probe.take() else {
             return;
         };
@@ -182,7 +183,7 @@ impl TcopPeer {
             // the parent tries the next candidate batch, which guarantees
             // every peer is eventually probed.
             if self.core.cfg.tcop_persistent_probing {
-                self.start_probe(ctx, round.child_wave + 1);
+                self.start_probe(ctx, shared, round.child_wave + 1);
             }
             return;
         }
@@ -203,6 +204,19 @@ impl TcopPeer {
             let (b, p, d) = self.core.effective_basis();
             (b.seq.clone(), p as u32, d, b.interval_nanos, !was_pending)
         };
+        // One derivation shared by the parent and all committed children
+        // (shipped in each `c2`).
+        let basis = DivisionBasis::derive(
+            &sched,
+            pos as usize,
+            interval,
+            mark_delta,
+            h_eff,
+            self.core.cfg.reenhance,
+            self.core.cfg.tail_parity,
+            self.core.cfg.coding,
+        );
+        debug_assert!(shared.outbox.is_empty());
         for (j, child) in round.accepted.iter().enumerate() {
             let commit = ControlPacket {
                 kind: ControlKind::Commit,
@@ -217,71 +231,100 @@ impl TcopPeer {
                 parts: parts as u32,
                 h: h_eff as u32,
                 fanout: self.core.cfg.fanout as u32,
+                basis: Some(basis.clone()),
             };
             let to = self.core.dir.actor_of(*child);
-            self.core.send_coord(ctx, to, Msg::Control(commit));
+            shared.outbox.push((to, Msg::Control(commit)));
         }
-        let own = derived_assignment_opts(
-            &sched,
-            pos as usize,
-            interval,
-            mark_delta,
-            h_eff,
-            parts,
-            0,
-            self.core.cfg.reenhance,
-            self.core.cfg.tail_parity,
-            self.core.cfg.coding,
-        );
+        self.core.send_coord_batch(ctx, &mut shared.outbox);
+        let own = basis.assign(parts, 0);
         let live_mark = basis_is_live
             .then(|| crate::schedule::mark_position(pos as usize, interval, mark_delta));
         self.core.arm_switch(ctx, own, live_mark);
     }
 
     /// §3.5 step 5: the commit activates this peer.
-    fn on_commit(&mut self, ctx: &mut dyn Runtime<Msg>, c: ControlPacket) {
+    fn on_commit(
+        &mut self,
+        ctx: &mut dyn Runtime<Msg>,
+        shared: &mut RoundShared,
+        c: ControlPacket,
+    ) {
         self.core.view.insert(c.from);
         self.core.view.union_with(&c.view);
-        let assignment = derived_assignment_opts(
-            c.sched.as_ref(),
-            c.pos as usize,
-            c.interval_nanos,
-            c.mark_delta_nanos,
-            c.h as usize,
-            c.parts as usize,
-            c.part as usize,
-            self.core.cfg.reenhance,
-            self.core.cfg.tail_parity,
-            self.core.cfg.coding,
-        );
+        let assignment = match &c.basis {
+            Some(b) => b.assign(c.parts as usize, c.part as usize),
+            None => derived_assignment_opts(
+                &c.sched,
+                c.pos as usize,
+                c.interval_nanos,
+                c.mark_delta_nanos,
+                c.h as usize,
+                c.parts as usize,
+                c.part as usize,
+                self.core.cfg.reenhance,
+                self.core.cfg.tail_parity,
+                self.core.cfg.coding,
+            ),
+        };
         self.core.adopt(ctx, assignment);
         self.core.record_activation(ctx, c.wave);
-        self.start_probe(ctx, c.wave + 1);
+        self.start_probe(ctx, shared, c.wave + 1);
     }
 }
 
-impl Actor<Msg> for TcopPeer {
-    fn on_message(&mut self, ctx: &mut dyn Runtime<Msg>, _from: ActorId, msg: Msg) {
+impl PlanePeer for TcopPeer {
+    fn plane_message(
+        &mut self,
+        ctx: &mut dyn Runtime<Msg>,
+        shared: &mut RoundShared,
+        _from: ActorId,
+        msg: Msg,
+    ) {
         match msg {
-            Msg::Request(req) => self.on_request(ctx, req),
+            Msg::Request(req) => self.on_request(ctx, shared, req),
             Msg::Control(c) => match c.kind {
                 ControlKind::Probe => self.on_probe(ctx, c),
-                ControlKind::Commit => self.on_commit(ctx, c),
-                ControlKind::Activate | ControlKind::Announce => {}
+                ControlKind::Commit => self.on_commit(ctx, shared, c),
+                // TCoP has no handler for these kinds; drop and count
+                // instead of silently ignoring.
+                ControlKind::Activate | ControlKind::Announce => {
+                    self.core.count_unexpected_control(ctx)
+                }
             },
-            Msg::Reply(r) => self.on_reply(ctx, r),
+            Msg::Reply(r) => self.on_reply(ctx, shared, r),
             Msg::Nack(n) => self.core.on_nack(ctx, &n),
             _ => {}
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut dyn Runtime<Msg>, _timer: TimerId, tag: u64) {
+    fn plane_timer(
+        &mut self,
+        ctx: &mut dyn Runtime<Msg>,
+        shared: &mut RoundShared,
+        _timer: TimerId,
+        tag: u64,
+    ) {
         match tag {
             TAG_SEND => self.core.on_send_timer(ctx),
             TAG_SWITCH => self.core.on_switch_timer(ctx),
-            TAG_REPLY_TIMEOUT => self.finish_probe(ctx),
+            TAG_REPLY_TIMEOUT => self.finish_probe(ctx, shared),
             _ => {}
         }
+    }
+}
+
+impl Actor<Msg> for TcopPeer {
+    fn on_message(&mut self, ctx: &mut dyn Runtime<Msg>, from: ActorId, msg: Msg) {
+        let mut shared = std::mem::take(&mut self.shared);
+        self.plane_message(ctx, &mut shared, from, msg);
+        self.shared = shared;
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn Runtime<Msg>, timer: TimerId, tag: u64) {
+        let mut shared = std::mem::take(&mut self.shared);
+        self.plane_timer(ctx, &mut shared, timer, tag);
+        self.shared = shared;
     }
 
     mss_sim::impl_as_any!();

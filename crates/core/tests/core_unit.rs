@@ -193,7 +193,7 @@ fn send_timer_transmits_in_schedule_order_and_stops_at_end() {
     let mut c = core();
     let mut rt = MockRt::new();
     let a = initial_assignment(6, 1, 1, 0, 1000);
-    let expect: Vec<_> = a.seq.ids().to_vec();
+    let expect: Vec<_> = a.seq.iter().cloned().collect();
     c.adopt(&mut rt, a);
     for _ in 0..expect.len() + 3 {
         c.on_send_timer(&mut rt);

@@ -1,0 +1,127 @@
+//! Round-engine equivalence suite: plane-hosted peers (slab state +
+//! batched round delivery) must be bit-for-bit indistinguishable from
+//! solo-hosted boxed actors — same peer reports, same metric counters,
+//! same consolidated outcome — across protocols, population sizes,
+//! seeds, and crash faults.
+//!
+//! This is the contract that lets the flattened round engine replace the
+//! seed layout without re-validating any experiment: if these pass, every
+//! figure produced under `Hosting::Plane` is the figure the seed would
+//! have produced.
+
+use proptest::prelude::*;
+
+use mss_core::peer_core::PeerReport;
+use mss_core::prelude::*;
+use mss_core::session::{Hosting, Session};
+
+/// Run one session under the given hosting and capture everything
+/// observable: the peer reports, the full metric counter table, and the
+/// consolidated outcome (via `Debug`, which covers its float fields
+/// exactly).
+fn observe(
+    protocol: Protocol,
+    n: usize,
+    seed: u64,
+    faults: &[(u64, u32)],
+    hosting: Hosting,
+) -> (Vec<PeerReport>, Vec<(String, u64)>, String) {
+    let mut cfg = SessionConfig::small(n, 8.min(n), seed);
+    cfg.content = ContentDesc::small(seed ^ 0xC0DE, 240);
+    let mut session = Session::new(cfg, protocol).hosting(hosting);
+    for &(at_ms, victim) in faults {
+        session = session.fault(SimDuration::from_millis(at_ms), PeerId(victim));
+    }
+    let (outcome, world, reports) = session.run_with_world();
+    let counters = world
+        .metrics()
+        .counters()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    (reports, counters, format!("{outcome:?}"))
+}
+
+/// Assert plane and solo hosting observe identically for one shape.
+fn assert_equivalent(protocol: Protocol, n: usize, seed: u64, faults: &[(u64, u32)]) {
+    let plane = observe(protocol, n, seed, faults, Hosting::Plane);
+    let solo = observe(protocol, n, seed, faults, Hosting::Solo);
+    assert_eq!(
+        plane.0, solo.0,
+        "peer reports diverged: {protocol:?} n={n} seed={seed} faults={faults:?}"
+    );
+    assert_eq!(
+        plane.1, solo.1,
+        "metric counters diverged: {protocol:?} n={n} seed={seed} faults={faults:?}"
+    );
+    assert_eq!(
+        plane.2, solo.2,
+        "outcome diverged: {protocol:?} n={n} seed={seed} faults={faults:?}"
+    );
+}
+
+/// The full deterministic matrix: both protocols, small and large
+/// populations, eight seeds each, fault-free.
+#[test]
+fn plane_matches_solo_across_protocols_sizes_and_seeds() {
+    for protocol in [Protocol::Dcop, Protocol::Tcop] {
+        for n in [10usize, 100] {
+            for seed in 0..8u64 {
+                assert_equivalent(protocol, n, seed * 7 + 1, &[]);
+            }
+        }
+    }
+}
+
+/// Crash faults land mid-coordination and mid-streaming; the plane's
+/// batched delivery must drop a killed member at exactly the same event
+/// boundary as the solo world drops its actor.
+#[test]
+fn plane_matches_solo_under_crash_faults() {
+    for protocol in [Protocol::Dcop, Protocol::Tcop] {
+        for n in [10usize, 100] {
+            for seed in 0..8u64 {
+                let victim = (seed as u32 % (n as u32 - 1)) + 1;
+                let faults = [(40 + seed * 11, victim), (90, (victim + 3) % n as u32)];
+                assert_equivalent(protocol, n, seed * 13 + 5, &faults);
+            }
+        }
+    }
+}
+
+/// The unicast chain (DCoP with fan-out forced to 1) exercises the
+/// deepest activation waves the plane can see.
+#[test]
+fn plane_matches_solo_for_unicast_chain() {
+    for seed in [3u64, 17, 29] {
+        assert_equivalent(Protocol::Unicast, 24, seed, &[]);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary shapes: population, fan-out-capped-by-n via
+    /// `SessionConfig::small`, seed, and an optional crash — plane and
+    /// solo observations must always coincide.
+    #[test]
+    fn plane_equivalence_holds_for_arbitrary_shapes(
+        n in 2usize..40,
+        seed in any::<u64>(),
+        protocol_tcop in any::<bool>(),
+        crash in any::<bool>(),
+        crash_at in 20u64..120,
+        crash_victim in 1u32..40,
+    ) {
+        let protocol = if protocol_tcop { Protocol::Tcop } else { Protocol::Dcop };
+        let faults: Vec<(u64, u32)> = if crash {
+            vec![(crash_at, crash_victim % n as u32)]
+        } else {
+            Vec::new()
+        };
+        let plane = observe(protocol, n, seed, &faults, Hosting::Plane);
+        let solo = observe(protocol, n, seed, &faults, Hosting::Solo);
+        prop_assert_eq!(plane.0, solo.0, "peer reports diverged");
+        prop_assert_eq!(plane.1, solo.1, "metric counters diverged");
+        prop_assert_eq!(plane.2, solo.2, "outcome diverged");
+    }
+}

@@ -64,15 +64,20 @@ pub fn render(protocol: Protocol, n: usize, fanout: usize, seed: u64) -> String 
                 }
             }
             // Mark the activation instant with the wave number.
-            let wave_char = char::from_digit(r.wave.min(9), 10).unwrap_or('+');
+            let wave = r.wave.unwrap_or(0);
+            let wave_char = char::from_digit(wave.min(9), 10).unwrap_or('+');
             row[start] = wave_char;
         }
+        let wave_label = match r.wave {
+            Some(w) => format!("w{w}"),
+            None => "w–".to_string(),
+        };
         let _ = writeln!(
             out,
-            "{:>5} │{}│ w{} sent={}",
+            "{:>5} │{}│ {} sent={}",
             r.me.to_string(),
             row.iter().collect::<String>(),
-            r.wave,
+            wave_label,
             r.sent
         );
     }

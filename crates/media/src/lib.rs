@@ -62,7 +62,9 @@ pub mod parity;
 pub mod rs;
 pub mod seq;
 pub mod slots;
+pub mod view;
 
 pub use content::ContentDesc;
 pub use packet::{Packet, PacketId, Seq};
 pub use seq::PacketSeq;
+pub use view::SeqView;

@@ -20,7 +20,7 @@
 //! is the stated purpose of the rotation. This reproduces Figure 6(b) and
 //! every sequence in §3.6 symbol-for-symbol (see tests).
 
-use std::collections::HashMap;
+use crate::fxhash::FxHashMap;
 
 use bytes::Bytes;
 
@@ -173,9 +173,23 @@ pub fn div_ids(ids: &[PacketId], parts: usize, i: usize) -> PacketSeq {
     )
 }
 
-/// All `parts` round-robin subsequences at once.
+/// All `parts` round-robin subsequences at once — one pass over the
+/// input (the same total cost as a *single* [`div`] call, which also
+/// scans every element), so callers needing several parts should prefer
+/// this. Part `i` equals `div(pkt, parts, i)` exactly.
 pub fn div_all(pkt: &PacketSeq, parts: usize) -> Vec<PacketSeq> {
-    (0..parts).map(|i| div(pkt, parts, i)).collect()
+    div_all_ids(pkt.ids(), parts)
+}
+
+/// [`div_all`] over a raw id slice.
+pub fn div_all_ids(ids: &[PacketId], parts: usize) -> Vec<PacketSeq> {
+    assert!(parts >= 1, "division into zero parts");
+    let cap = ids.len() / parts + 1;
+    let mut outs: Vec<Vec<PacketId>> = (0..parts).map(|_| Vec::with_capacity(cap)).collect();
+    for (j, p) in ids.iter().enumerate() {
+        outs[j % parts].push(p.clone());
+    }
+    outs.into_iter().map(PacketSeq::from_ids).collect()
 }
 
 /// Outcome of feeding one packet to the [`Decoder`].
@@ -204,7 +218,7 @@ type RsRow = (Box<[Seq]>, u8, Vec<u8>);
 /// segment).
 #[derive(Default)]
 pub struct Decoder {
-    known: HashMap<Seq, Bytes>,
+    known: FxHashMap<Seq, Bytes>,
     /// Word bitmap mirroring `known`'s keys (bit `s` ⇔ `Seq(s)` known):
     /// `missing_count` is a popcount and `missing_iter` walks zero bits,
     /// so repair ticks allocate nothing unless they actually NACK.
@@ -212,13 +226,13 @@ pub struct Decoder {
     /// Pending equations: unknown coverage (sorted) + reduced payload.
     pending: Vec<Option<(Vec<Seq>, Vec<u8>)>>,
     /// seq -> indices into `pending` that mention it.
-    index: HashMap<Seq, Vec<usize>>,
+    index: FxHashMap<Seq, Vec<usize>>,
     /// Buffered RS parity rows.
     rs_rows: Vec<Option<RsRow>>,
     /// Segment coverage -> slots into `rs_rows`.
-    rs_segments: HashMap<Box<[Seq]>, Vec<usize>>,
+    rs_segments: FxHashMap<Box<[Seq]>, Vec<usize>>,
     /// Data seq -> segments covering it (registered once per segment).
-    rs_seq_index: HashMap<Seq, Vec<Box<[Seq]>>>,
+    rs_seq_index: FxHashMap<Seq, Vec<Box<[Seq]>>>,
     inconsistencies: u64,
     /// Recycled payload buffers from consumed equations — per-packet
     /// reduction copies draw from here instead of allocating.

@@ -41,6 +41,55 @@ fn merge_key(p: &PacketId) -> (u64, usize, &[Seq]) {
     (p.max_seq().0, p.coverage_len(), p.coverage_slice())
 }
 
+/// Sorted-merge union for operands ascending by [`merge_key`]: emits,
+/// per key, every `a` element then every `b` element not present in `a`.
+/// Because the key is a pure function of the id, any `b` element that
+/// also occurs in `a` shares its equal-key run, so membership reduces to
+/// a scan of that (almost always length-1) run. Returns `None` the
+/// moment either operand regresses, leaving the caller to take the
+/// order-insensitive hash-set path instead.
+fn union_sorted<'a>(
+    a: impl Iterator<Item = &'a PacketId>,
+    b: impl Iterator<Item = &'a PacketId>,
+    cap: usize,
+) -> Option<PacketSeq> {
+    let mut ap = a.peekable();
+    let mut bp = b.peekable();
+    let mut out: Vec<PacketId> = Vec::with_capacity(cap);
+    let mut last_key: Option<(u64, usize, &'a [Seq])> = None;
+    while ap.peek().is_some() || bp.peek().is_some() {
+        let k = match (ap.peek(), bp.peek()) {
+            (Some(x), Some(y)) => merge_key(x).min(merge_key(y)),
+            (Some(x), None) => merge_key(x),
+            (None, Some(y)) => merge_key(y),
+            (None, None) => unreachable!(),
+        };
+        if last_key.is_some_and(|prev| k < prev) {
+            return None; // an operand is not ascending — bail out
+        }
+        last_key = Some(k);
+        let run_start = out.len();
+        while let Some(x) = ap.peek() {
+            if merge_key(x) != k {
+                break;
+            }
+            out.push((*x).clone());
+            ap.next();
+        }
+        let run_end = out.len();
+        while let Some(&y) = bp.peek() {
+            if merge_key(y) != k {
+                break;
+            }
+            if !out[run_start..run_end].iter().any(|x| x == y) {
+                out.push(y.clone());
+            }
+            bp.next();
+        }
+    }
+    Some(PacketSeq::from_ids(out))
+}
+
 impl PacketSeq {
     /// Empty sequence.
     pub fn new() -> Self {
@@ -186,6 +235,63 @@ impl PacketSeq {
         merged.extend(b.cloned());
         self.items = merged;
         self.index = OnceLock::new();
+    }
+
+    /// `union` over borrowed slices: bit-for-bit the same sequence as
+    /// `PacketSeq::from_ids(a.to_vec()).union(&from_ids(b.to_vec()))`
+    /// without materializing either operand. This is the multi-parent
+    /// merge hot path (`schedule::merge_assignment`): the unsent tail of
+    /// a live schedule merges with an incoming assignment straight into
+    /// the one output vector — no intermediate copies, no index build on
+    /// a throwaway sequence.
+    pub fn union_slices(a: &[PacketId], b: &[PacketId]) -> PacketSeq {
+        PacketSeq::union_iters(a.iter(), b.iter())
+    }
+
+    /// [`PacketSeq::union_slices`] generalized to cloneable iterators, so
+    /// strided views ([`crate::view::SeqView`]) merge without
+    /// materializing either operand — same sequence, bit for bit.
+    ///
+    /// When both operands are ascending by merge key — true of every
+    /// schedule the protocols produce: enhanced streams are ascending,
+    /// round-robin parts of ascending sequences are ascending, and
+    /// unions of ascending sequences are ascending — the union is a
+    /// sorted run-merge with no hash set at all. The merge key is a pure
+    /// function of the packet id, so an id duplicated across operands
+    /// necessarily sits in the same equal-key run, and membership tests
+    /// reduce to comparisons within that run. Inputs that turn out not
+    /// to be ascending are detected mid-merge and rerun through the
+    /// hash-set path.
+    pub fn union_iters<'a>(
+        a: impl Iterator<Item = &'a PacketId> + Clone,
+        b: impl Iterator<Item = &'a PacketId> + Clone,
+    ) -> PacketSeq {
+        let (a_hint, _) = a.size_hint();
+        let (b_hint, _) = b.size_hint();
+        if b_hint == 0 && b.clone().next().is_none() {
+            return a.cloned().collect();
+        }
+        if a_hint == 0 && a.clone().next().is_none() {
+            return b.cloned().collect();
+        }
+        if let Some(seq) = union_sorted(a.clone(), b.clone(), a_hint + b_hint) {
+            return seq;
+        }
+        let mine: crate::fxhash::FxHashSet<&PacketId> = a.clone().collect();
+        let mut merged: Vec<PacketId> = Vec::with_capacity(a_hint + b_hint);
+        let mut fresh = b.filter(|p| !mine.contains(*p)).peekable();
+        for x in a {
+            while let Some(y) = fresh.peek() {
+                if merge_key(x) <= merge_key(y) {
+                    break;
+                }
+                merged.push((*y).clone());
+                fresh.next();
+            }
+            merged.push(x.clone());
+        }
+        merged.extend(fresh.cloned());
+        PacketSeq::from_ids(merged)
     }
 
     /// `pkt_1 ∩ pkt_2`: packets present in both, in `self`'s order.
@@ -386,6 +492,106 @@ mod tests {
                 assert!(in_place.contains(id));
             }
         }
+    }
+
+    #[test]
+    fn union_slices_matches_union() {
+        let cases: &[(Vec<PacketId>, Vec<PacketId>)] = &[
+            (vec![d(1), d(3), d(5)], vec![d(2), d(3), d(6)]),
+            (vec![], vec![d(1)]),
+            (vec![d(1)], vec![]),
+            (vec![], vec![]),
+            (vec![d(5), d(11)], vec![d(1), par(&[7, 9, 11, 12])]),
+            (vec![d(1), d(1), d(2)], vec![d(1), d(7), d(7)]),
+            (vec![par(&[1, 2]), d(2)], vec![d(2), par(&[1, 2]), d(9)]),
+        ];
+        for (a, b) in cases {
+            let sa = PacketSeq::from_ids(a.clone());
+            let sb = PacketSeq::from_ids(b.clone());
+            assert_eq!(PacketSeq::union_slices(a, b), sa.union(&sb), "{sa} ∪ {sb}");
+        }
+    }
+
+    /// The original hash-set union, kept verbatim as the oracle for the
+    /// sorted-merge fast path.
+    fn union_reference(a: &[PacketId], b: &[PacketId]) -> PacketSeq {
+        let mine: crate::fxhash::FxHashSet<&PacketId> = a.iter().collect();
+        let mut merged: Vec<PacketId> = Vec::with_capacity(a.len() + b.len());
+        let mut fresh = b.iter().filter(|p| !mine.contains(*p)).peekable();
+        for x in a {
+            while let Some(y) = fresh.peek() {
+                if merge_key(x) <= merge_key(y) {
+                    break;
+                }
+                merged.push((*y).clone());
+                fresh.next();
+            }
+            merged.push(x.clone());
+        }
+        merged.extend(fresh.cloned());
+        PacketSeq::from_ids(merged)
+    }
+
+    #[test]
+    fn union_iters_matches_reference_on_randomized_operands() {
+        // Deterministic xorshift so the test needs no RNG dependency.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        // Pool mixing data, XOR parity, and equal-key RS-style overlaps.
+        let pool: Vec<PacketId> = (1..=12)
+            .map(d)
+            .chain([par(&[1, 2]), par(&[3, 4, 5]), par(&[6, 7]), par(&[9, 11])])
+            .chain([
+                PacketId::RsParity {
+                    seqs: vec![Seq(2), Seq(3)].into(),
+                    row: 0,
+                },
+                PacketId::RsParity {
+                    seqs: vec![Seq(2), Seq(3)].into(),
+                    row: 1,
+                },
+            ])
+            .collect();
+        for trial in 0..400 {
+            let mut draw = |sorted: bool| {
+                let n = (next() % 9) as usize;
+                let mut v: Vec<PacketId> = (0..n)
+                    .map(|_| pool[(next() as usize) % pool.len()].clone())
+                    .collect();
+                if sorted {
+                    v.sort_by(|x, y| merge_key(x).cmp(&merge_key(y)));
+                }
+                v
+            };
+            // Odd trials draw unsorted operands to exercise the
+            // hash-path fallback; even trials stay on the fast path.
+            let sorted = trial % 2 == 0;
+            let a = draw(sorted);
+            let b = draw(sorted);
+            assert_eq!(
+                PacketSeq::union_iters(a.iter(), b.iter()),
+                union_reference(&a, &b),
+                "trial {trial}: {a:?} ∪ {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn union_sorted_rejects_regressing_operands() {
+        // A regresses after its first element — the fast path must bail
+        // rather than mis-merge.
+        let a = vec![d(5), d(2)];
+        let b = vec![d(3)];
+        assert_eq!(union_sorted(a.iter(), b.iter(), 3), None);
+        assert_eq!(
+            PacketSeq::union_iters(a.iter(), b.iter()),
+            union_reference(&a, &b)
+        );
     }
 
     #[test]

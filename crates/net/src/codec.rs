@@ -10,7 +10,7 @@ use mss_core::msg::{
     ContentRequest, ControlKind, ControlPacket, DataMsg, Msg, Nack, ProbeReply, ScheduleAssignment,
     TwoPhase,
 };
-use mss_media::{Packet, PacketId, PacketSeq, Seq};
+use mss_media::{Packet, PacketId, PacketSeq, Seq, SeqView};
 use mss_overlay::{PeerId, View};
 use mss_sim::event::ActorId;
 use std::sync::Arc;
@@ -157,6 +157,16 @@ fn put_seq(out: &mut BytesMut, seq: &PacketSeq) {
     }
 }
 
+/// Encode a strided view element-for-element — same bytes as
+/// materializing with [`SeqView::to_seq`] and calling [`put_seq`],
+/// without the intermediate copy.
+fn put_seq_view(out: &mut BytesMut, view: &SeqView) {
+    out.put_u32_le(view.len() as u32);
+    for id in view.iter() {
+        put_packet_id(out, id);
+    }
+}
+
 fn get_seq(buf: &mut impl Buf) -> Result<PacketSeq, CodecError> {
     let len = get_len(buf)?;
     let mut ids = Vec::with_capacity(len.min(65536));
@@ -176,7 +186,7 @@ fn put_control(out: &mut BytesMut, c: &ControlPacket) {
     out.put_u32_le(c.from.0);
     out.put_u32_le(c.wave);
     put_view(out, &c.view);
-    put_seq(out, &c.sched);
+    put_seq_view(out, &c.sched);
     out.put_u32_le(c.pos);
     out.put_u64_le(c.interval_nanos);
     out.put_u64_le(c.mark_delta_nanos);
@@ -198,7 +208,7 @@ fn get_control(buf: &mut impl Buf) -> Result<ControlPacket, CodecError> {
     let from = PeerId(buf.get_u32_le());
     let wave = buf.get_u32_le();
     let view = Arc::new(get_view(buf)?);
-    let sched = Arc::new(get_seq(buf)?);
+    let sched = SeqView::from(get_seq(buf)?);
     need(buf, 4 + 8 + 8 + 16)?;
     Ok(ControlPacket {
         kind,
@@ -213,6 +223,7 @@ fn get_control(buf: &mut impl Buf) -> Result<ControlPacket, CodecError> {
         parts: buf.get_u32_le(),
         h: buf.get_u32_le(),
         fanout: buf.get_u32_le(),
+        basis: None,
     })
 }
 
@@ -507,7 +518,7 @@ mod tests {
             from: PeerId(5),
             wave: 3,
             view: Arc::new(view_of(70, &[64, 69])),
-            sched: Arc::new(sched.clone()),
+            sched: sched.clone().into(),
             pos: 4,
             interval_nanos: 99,
             mark_delta_nanos: 123,
@@ -515,11 +526,12 @@ mod tests {
             parts: 3,
             h: 2,
             fanout: 3,
+            basis: None,
         });
         match roundtrip(msg) {
             Msg::Control(c) => {
                 assert_eq!(c.kind, ControlKind::Commit);
-                assert_eq!(c.sched.as_ref(), &sched);
+                assert_eq!(c.sched.to_seq(), sched);
                 assert_eq!(c.mark_delta_nanos, 123);
                 assert_eq!(c.view.count(), 2);
             }

@@ -22,8 +22,32 @@ use crate::view::View;
 /// Returns fewer than `m` (possibly zero) when the complement is small —
 /// the paper's `|Select(...)| ≤ m`.
 pub fn select_from_complement(view: &View, m: usize, rng: &mut SimRng) -> Vec<PeerId> {
-    let pool = view.complement();
-    rng.sample(&pool, m)
+    let mut pool = Vec::new();
+    select_from_complement_with(view, m, rng, &mut pool)
+}
+
+/// [`select_from_complement`] with caller-owned pool scratch: the
+/// complement is materialized into `pool` (cleared first) and the draw
+/// runs in place, so a coordination plane reusing one buffer performs no
+/// per-selection allocation beyond the (small) result. Draws the exact
+/// same RNG sequence as [`select_from_complement`] — the partial
+/// Fisher–Yates consumes one index per picked element either way — so
+/// the two entry points are interchangeable without perturbing seeded
+/// runs.
+pub fn select_from_complement_with(
+    view: &View,
+    m: usize,
+    rng: &mut SimRng,
+    pool: &mut Vec<PeerId>,
+) -> Vec<PeerId> {
+    view.complement_into(pool);
+    let k = m.min(pool.len());
+    let len = pool.len();
+    for i in 0..k {
+        let j = i + rng.gen_index(len - i);
+        pool.swap(i, j);
+    }
+    pool[..k].to_vec()
 }
 
 /// Pluggable selection policy.
@@ -134,6 +158,24 @@ mod tests {
         let v = View::full(6);
         let mut rng = SimRng::new(3);
         assert!(select_from_complement(&v, 4, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn scratch_pool_variant_draws_identically() {
+        // The pooled entry point must consume the same RNG stream and
+        // return the same picks as `rng.sample(&view.complement(), m)`,
+        // or seeded sessions would diverge when a plane adopts it.
+        let v = view_with(20, &[0, 3, 7, 11]);
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        let mut pool = Vec::new();
+        for m in [0, 1, 3, 16, 30] {
+            let reference = a.sample(&v.complement(), m);
+            let pooled = select_from_complement_with(&v, m, &mut b, &mut pool);
+            assert_eq!(pooled, reference, "m={m}");
+        }
+        // Streams stay aligned after interleaved use.
+        assert_eq!(a.gen_index(1000), b.gen_index(1000));
     }
 
     #[test]

@@ -86,10 +86,22 @@ impl View {
     /// Peers *not* in the view, ascending — the candidate pool for
     /// `Select`.
     pub fn complement(&self) -> Vec<PeerId> {
-        (0..self.n)
-            .map(|i| PeerId(i as u32))
-            .filter(|p| !self.contains(*p))
-            .collect()
+        let mut out = Vec::new();
+        self.complement_into(&mut out);
+        out
+    }
+
+    /// [`View::complement`] into caller-owned scratch: `out` is cleared
+    /// and then holds the complement. Selection runs on every
+    /// coordination round; reusing one pool buffer per protocol plane
+    /// avoids an allocation per `Select`.
+    pub fn complement_into(&self, out: &mut Vec<PeerId>) {
+        out.clear();
+        out.extend(
+            (0..self.n)
+                .map(|i| PeerId(i as u32))
+                .filter(|p| !self.contains(*p)),
+        );
     }
 }
 

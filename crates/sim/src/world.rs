@@ -72,6 +72,16 @@ pub trait Runtime<M: SimMessage> {
     fn kill(&mut self, _actor: ActorId) {}
     /// Halt the whole session (live runtimes ignore it).
     fn stop_world(&mut self) {}
+    /// Send every `(to, msg)` pair in `batch`, draining it. Exactly
+    /// equivalent to calling [`Runtime::send`] once per entry in order
+    /// (same delivery times, same RNG draws); hosts may amortize
+    /// bookkeeping across the batch. A protocol fan-out pushes its whole
+    /// round here and pays the per-send accounting once.
+    fn send_batch(&mut self, batch: &mut Vec<(ActorId, M)>) {
+        for (to, msg) in batch.drain(..) {
+            self.send(to, msg);
+        }
+    }
 }
 
 /// A simulated process. Implementors also provide [`Actor::as_any`] so the
@@ -99,6 +109,45 @@ macro_rules! impl_as_any {
             self
         }
     };
+}
+
+/// A batch of co-hosted actors dispatched through one trait object.
+///
+/// Members are addressed by a dense index assigned at registration
+/// ([`World::add_group`]); each member still owns a full [`ActorId`], so
+/// liveness, timers, fault injection and message routing are untouched —
+/// only *storage* changes. A group keeps its members in one contiguous
+/// slab and can thread shared mutable state (scratch arenas, caches)
+/// into every callback, which per-member `Box<dyn Actor>` storage cannot.
+pub trait ActorGroup<M: SimMessage>: Send + 'static {
+    /// Called once per member, in registration order, when the world
+    /// first runs.
+    fn on_start(&mut self, _ctx: &mut dyn Runtime<M>, _member: u32) {}
+
+    /// A message for `member` arrived from `from`.
+    fn on_message(&mut self, ctx: &mut dyn Runtime<M>, member: u32, from: ActorId, msg: M);
+
+    /// A timer set by `member` fired.
+    fn on_timer(&mut self, _ctx: &mut dyn Runtime<M>, _member: u32, _timer: TimerId, _tag: u64) {}
+
+    /// Upcast one member for post-run state inspection.
+    fn member_as_any(&self, member: u32) -> &dyn Any;
+}
+
+/// Where one [`ActorId`] lives: its own box, or a slot of a group slab.
+enum Slot<M: SimMessage> {
+    /// A free-standing actor (`None` only transiently during dispatch).
+    Solo(Option<Box<dyn Actor<M>>>),
+    /// Member `member` of `groups[group]`.
+    Member { group: u32, member: u32 },
+}
+
+/// A dispatch target moved out of its slot for the duration of one
+/// callback (the reentrancy guard): the solo actor's box, or the whole
+/// group box plus the addressed member index.
+enum Taken<M: SimMessage> {
+    Actor(Box<dyn Actor<M>>),
+    Group(usize, u32, Box<dyn ActorGroup<M>>),
 }
 
 /// Liveness lookup shared by every dispatch site: out-of-range ids are
@@ -267,11 +316,46 @@ impl<'a, M: SimMessage> Runtime<M> for Ctx<'a, M> {
     fn stop_world(&mut self) {
         *self.stop = true;
     }
+
+    /// Batched send: one metrics update for the whole fan-out, with link
+    /// processing and queue pushes in exact per-message order — the event
+    /// stream (delivery times, sequence numbers, RNG draws) is
+    /// bit-identical to `batch.len()` individual [`Runtime::send`] calls.
+    fn send_batch(&mut self, batch: &mut Vec<(ActorId, M)>) {
+        let count = batch.len() as u64;
+        let mut bytes = 0u64;
+        for (to, msg) in batch.drain(..) {
+            let size = msg.wire_size();
+            bytes += size as u64;
+            match self
+                .link
+                .process(self.now, self.self_id, to, size, self.rng)
+            {
+                LinkVerdict::Deliver(at) => {
+                    debug_assert!(at >= self.now, "link delivered into the past");
+                    self.queue.push(
+                        at,
+                        Event::Deliver {
+                            from: self.self_id,
+                            to,
+                            msg,
+                        },
+                    );
+                }
+                LinkVerdict::Drop => {
+                    self.metrics.incr_id(metrics::NET_DROPPED_ID);
+                }
+            }
+        }
+        self.metrics.add_id(metrics::NET_SENT_ID, count);
+        self.metrics.add_id(metrics::NET_BYTES_SENT_ID, bytes);
+    }
 }
 
 /// Owns the actors and runs the event loop.
 pub struct World<M: SimMessage> {
-    actors: Vec<Option<Box<dyn Actor<M>>>>,
+    actors: Vec<Slot<M>>,
+    groups: Vec<Option<Box<dyn ActorGroup<M>>>>,
     alive: Vec<bool>,
     started: usize,
     queue: EventQueue<M>,
@@ -290,6 +374,7 @@ impl<M: SimMessage> World<M> {
     pub fn new(link: impl LinkModel + 'static, seed: u64) -> Self {
         World {
             actors: Vec::new(),
+            groups: Vec::new(),
             alive: Vec::new(),
             started: 0,
             queue: EventQueue::new(),
@@ -307,9 +392,29 @@ impl<M: SimMessage> World<M> {
     /// Register an actor; ids are assigned densely in registration order.
     pub fn add_actor(&mut self, actor: Box<dyn Actor<M>>) -> ActorId {
         let id = ActorId(self.actors.len() as u32);
-        self.actors.push(Some(actor));
+        self.actors.push(Slot::Solo(Some(actor)));
         self.alive.push(true);
         id
+    }
+
+    /// Register a group of `members` co-hosted actors; each member gets
+    /// its own dense [`ActorId`] (continuing registration order), so a
+    /// group of `k` members occupies the next `k` ids. Returns the first
+    /// member's id. Scheduling is indistinguishable from `members`
+    /// individual [`World::add_actor`] calls — only storage and the
+    /// callback path differ.
+    pub fn add_group(&mut self, members: usize, group: Box<dyn ActorGroup<M>>) -> ActorId {
+        let first = ActorId(self.actors.len() as u32);
+        let gidx = self.groups.len() as u32;
+        self.groups.push(Some(group));
+        for member in 0..members as u32 {
+            self.actors.push(Slot::Member {
+                group: gidx,
+                member,
+            });
+            self.alive.push(true);
+        }
+        first
     }
 
     /// Number of registered actors (alive or not).
@@ -342,17 +447,32 @@ impl<M: SimMessage> World<M> {
         kill_idx(&mut self.alive, actor.index());
     }
 
-    /// Borrow a registered actor as a trait object for inspection.
+    /// Borrow a registered *solo* actor as a trait object for inspection.
+    /// Group members have no per-member `dyn Actor` box; use
+    /// [`World::actor_any`] / [`World::actor_as`], which resolve both.
     pub fn actor_as_dyn(&self, id: ActorId) -> Option<&dyn Actor<M>> {
-        self.actors.get(id.index()).and_then(|slot| slot.as_deref())
+        match self.actors.get(id.index())? {
+            Slot::Solo(slot) => slot.as_deref(),
+            Slot::Member { .. } => None,
+        }
+    }
+
+    /// Borrow any registered actor — solo or group member — as `Any` for
+    /// post-run inspection.
+    pub fn actor_any(&self, id: ActorId) -> Option<&dyn Any> {
+        match self.actors.get(id.index())? {
+            Slot::Solo(slot) => slot.as_deref().map(|a| a.as_any()),
+            Slot::Member { group, member } => self
+                .groups
+                .get(*group as usize)
+                .and_then(|g| g.as_deref())
+                .map(|g| g.member_as_any(*member)),
+        }
     }
 
     /// Downcast a registered actor to its concrete type for inspection.
     pub fn actor_as<T: 'static>(&self, id: ActorId) -> Option<&T> {
-        self.actors
-            .get(id.index())
-            .and_then(|slot| slot.as_deref())
-            .and_then(|a| a.as_any().downcast_ref::<T>())
+        self.actor_any(id).and_then(|a| a.downcast_ref::<T>())
     }
 
     /// The world-side half of the split borrow: one `Ctx` over every
@@ -373,6 +493,33 @@ impl<M: SimMessage> World<M> {
         }
     }
 
+    /// Take the dispatch target for `id` out of its slot (solo box or
+    /// group box), or `None` when the id is unknown or mid-dispatch.
+    fn take_target(&mut self, id: ActorId) -> Option<Taken<M>> {
+        match self.actors.get_mut(id.index())? {
+            Slot::Solo(slot) => slot.take().map(Taken::Actor),
+            Slot::Member { group, member } => {
+                let (g, m) = (*group as usize, *member);
+                self.groups
+                    .get_mut(g)
+                    .and_then(Option::take)
+                    .map(|b| Taken::Group(g, m, b))
+            }
+        }
+    }
+
+    /// Put a taken dispatch target back into its slot.
+    fn put_target(&mut self, id: ActorId, taken: Taken<M>) {
+        match taken {
+            Taken::Actor(a) => {
+                if let Some(Slot::Solo(slot)) = self.actors.get_mut(id.index()) {
+                    *slot = Some(a);
+                }
+            }
+            Taken::Group(g, _, b) => self.groups[g] = Some(b),
+        }
+    }
+
     fn start_pending(&mut self) {
         while self.started < self.actors.len() {
             let idx = self.started;
@@ -380,9 +527,16 @@ impl<M: SimMessage> World<M> {
             if !self.alive[idx] {
                 continue;
             }
-            let mut actor = self.actors[idx].take().expect("actor reentrancy");
-            actor.on_start(&mut self.ctx(ActorId(idx as u32)));
-            self.actors[idx] = Some(actor);
+            let id = ActorId(idx as u32);
+            let mut taken = self.take_target(id).expect("actor reentrancy");
+            match &mut taken {
+                Taken::Actor(a) => a.on_start(&mut self.ctx(id)),
+                Taken::Group(_, m, b) => {
+                    let m = *m;
+                    b.on_start(&mut self.ctx(id), m);
+                }
+            }
+            self.put_target(id, taken);
         }
     }
 
@@ -417,12 +571,17 @@ impl<M: SimMessage> World<M> {
                     return true;
                 }
                 self.metrics.incr_id(metrics::NET_DELIVERED_ID);
-                let Some(slot) = self.actors.get_mut(to.index()) else {
+                let Some(mut taken) = self.take_target(to) else {
                     return true;
                 };
-                let mut actor = slot.take().expect("actor reentrancy");
-                actor.on_message(&mut self.ctx(to), from, msg);
-                self.actors[to.index()] = Some(actor);
+                match &mut taken {
+                    Taken::Actor(a) => a.on_message(&mut self.ctx(to), from, msg),
+                    Taken::Group(_, m, b) => {
+                        let m = *m;
+                        b.on_message(&mut self.ctx(to), m, from, msg);
+                    }
+                }
+                self.put_target(to, taken);
             }
             Event::Timer { actor, timer, tag } => {
                 // A stale id means the timer was cancelled (or the slot
@@ -433,12 +592,17 @@ impl<M: SimMessage> World<M> {
                 if !is_alive_idx(&self.alive, actor.index()) {
                     return true;
                 }
-                let Some(slot) = self.actors.get_mut(actor.index()) else {
+                let Some(mut taken) = self.take_target(actor) else {
                     return true;
                 };
-                let mut a = slot.take().expect("actor reentrancy");
-                a.on_timer(&mut self.ctx(actor), timer, tag);
-                self.actors[actor.index()] = Some(a);
+                match &mut taken {
+                    Taken::Actor(a) => a.on_timer(&mut self.ctx(actor), timer, tag),
+                    Taken::Group(_, m, b) => {
+                        let m = *m;
+                        b.on_timer(&mut self.ctx(actor), m, timer, tag);
+                    }
+                }
+                self.put_target(actor, taken);
             }
         }
         true

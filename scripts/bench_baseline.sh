@@ -98,6 +98,29 @@ kernels_raw=$(run_bench coding_kernels)
     printf '}\n'
 } >"$out"
 
+# Before appending, flag regressions against the previous recorded run
+# (same 15% floor as scripts/bench_gate.sh, but non-fatal here: this
+# script's job is to record what is, not to reject it).
+if [ -s "$history" ] && [ "${MSS_SKIP_BENCH_GATE:-0}" != "1" ]; then
+    prev=$(grep '"session_throughput"' "$history" | tail -1 |
+        sed -e 's/.*"session_throughput"[^{]*{[^{]*{//' -e 's/}.*//')
+    if [ -n "$prev" ]; then
+        awk -v prev="$prev" '
+        # Protocol lines in the fresh JSON look like:  "DCoP": 3250000,
+        match($0, /^      "[A-Za-z]+": [0-9]+/) {
+            split($0, f, /[":,]+/)
+            proto = f[2]; eps = f[3] + 0
+            if (match(prev, "\"" proto "\": *[0-9]+")) {
+                base = substr(prev, RSTART, RLENGTH)
+                sub(/.*: */, "", base)
+                if (eps < base * 0.85)
+                    printf "bench_baseline.sh: WARNING %s %d events/s is >15%% below previous %d\n", \
+                        proto, eps, base > "/dev/stderr"
+            }
+        }' "$out"
+    fi
+fi
+
 # Append the same run to the history log as a single line, tagged with
 # the current commit so runs can be correlated with kernel changes.
 commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)

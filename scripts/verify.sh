@@ -35,6 +35,9 @@ git diff --exit-code -- results/fig10_dcop.csv results/fig12_rate.csv \
 echo "==> bench smoke (each benchmark runs once in test mode)"
 cargo bench -p mss-bench -- --test
 
+echo "==> session-throughput regression gate (vs results/bench_history.jsonl)"
+scripts/bench_gate.sh
+
 echo "==> clippy (all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
