@@ -282,7 +282,9 @@ fn run_bench<R: FnMut(&mut Bencher)>(
 
     let rate = throughput.map(|t| match t {
         Throughput::Elements(n) => format!(" ({:.3} Melem/s)", n as f64 / median * 1e3),
-        Throughput::Bytes(n) => format!(" ({:.3} MiB/s)", n as f64 / median * 1e9 / (1 << 20) as f64),
+        Throughput::Bytes(n) => {
+            format!(" ({:.3} MiB/s)", n as f64 / median * 1e9 / (1 << 20) as f64)
+        }
     });
     println!(
         "  {name:<40} {}{}",

@@ -66,7 +66,7 @@ pub fn coord_unexpected_kind_id() -> MetricId {
 }
 
 /// Consolidated result of one session run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SessionOutcome {
     /// Which protocol ran.
     pub protocol: Protocol,

@@ -21,6 +21,7 @@ use mss_overlay::{Directory, PeerId};
 use mss_sim::event::ActorId;
 use mss_sim::link::{JitterLatency, LinkModel};
 use mss_sim::prelude::*;
+use mss_sim::shard::ShardedWorld;
 use mss_sim::world::World;
 
 use crate::baselines::{BroadcastPeer, CentralizedPeer, SchedulePeer};
@@ -65,15 +66,64 @@ pub enum Hosting {
     Solo,
 }
 
+/// How a session obtains its link model. A plain instance is enough for
+/// the single world; the sharded world needs one instance *per shard*
+/// (so link state stays thread-local), hence the factory form. The
+/// default link is stateless and supports both.
+enum LinkSpec {
+    /// The built-in 1–2 ms jitter link.
+    Default,
+    /// A caller-supplied instance ([`Session::link`]): single-world only.
+    Instance(Box<dyn LinkModel>),
+    /// A caller-supplied per-shard constructor ([`Session::link_factory`]).
+    Factory(Box<dyn Fn() -> Box<dyn LinkModel + Send>>),
+}
+
+fn default_link() -> JitterLatency {
+    JitterLatency {
+        base: SimDuration::from_millis(1),
+        jitter: SimDuration::from_millis(1),
+    }
+}
+
+impl LinkSpec {
+    /// The link instance for a single-world run (bit-for-bit the link
+    /// the seed used, for every spec form).
+    fn build_single(self) -> Box<dyn LinkModel> {
+        match self {
+            LinkSpec::Default => Box::new(default_link()),
+            LinkSpec::Instance(link) => link,
+            LinkSpec::Factory(f) => f(),
+        }
+    }
+
+    /// Per-shard link constructor, or the spec handed back untouched
+    /// when it cannot run sharded (an opaque instance, or a model with
+    /// zero lookahead) so a single-world fallback keeps the user's link.
+    fn build_factory(self) -> Result<Box<dyn Fn() -> Box<dyn LinkModel + Send>>, LinkSpec> {
+        let f: Box<dyn Fn() -> Box<dyn LinkModel + Send>> = match self {
+            LinkSpec::Default => Box::new(|| Box::new(default_link())),
+            spec @ LinkSpec::Instance(_) => return Err(spec),
+            LinkSpec::Factory(f) => f,
+        };
+        if f().min_latency() > SimDuration::ZERO {
+            Ok(f)
+        } else {
+            Err(LinkSpec::Factory(f))
+        }
+    }
+}
+
 /// Builder for one streaming session.
 pub struct Session {
     cfg: SessionConfig,
     protocol: Protocol,
-    link: Box<dyn LinkModel>,
+    link: LinkSpec,
     gate: Option<OverrunGate>,
     faults: Vec<(SimDuration, PeerId)>,
     limit: SimTime,
     hosting: Hosting,
+    shards: usize,
 }
 
 impl Session {
@@ -90,20 +140,44 @@ impl Session {
         Session {
             cfg,
             protocol,
-            link: Box::new(JitterLatency {
-                base: SimDuration::from_millis(1),
-                jitter: SimDuration::from_millis(1),
-            }),
+            link: LinkSpec::Default,
             gate: None,
             faults: Vec::new(),
             limit: SimTime::MAX,
             hosting: Hosting::Plane,
+            shards: 1,
         }
     }
 
-    /// Replace the network model.
+    /// Replace the network model with a single instance. A session built
+    /// this way always runs in the single-threaded world (the instance
+    /// cannot be replicated per shard); use [`Session::link_factory`]
+    /// for sharded runs.
     pub fn link(mut self, link: impl LinkModel + 'static) -> Session {
-        self.link = Box::new(link);
+        self.link = LinkSpec::Instance(Box::new(link));
+        self
+    }
+
+    /// Replace the network model with a per-shard constructor. Every
+    /// shard of a sharded run gets its own instance, so stateful models
+    /// stay thread-local; a single-world run calls it once. The model's
+    /// [`LinkModel::min_latency`] must be positive for sharded execution
+    /// (it becomes the synchronization lookahead).
+    pub fn link_factory<L: LinkModel + Send + 'static>(
+        mut self,
+        factory: impl Fn() -> L + 'static,
+    ) -> Session {
+        self.link = LinkSpec::Factory(Box::new(move || Box::new(factory())));
+        self
+    }
+
+    /// Split the session across `shards` worker threads (1 = the
+    /// classic single-threaded world, the default). Sharded runs are
+    /// deterministic per `(seed, shards)` pair but not stream-identical
+    /// across different shard counts; `run()` falls back to the single
+    /// world when the link cannot be sharded (see [`Session::link`]).
+    pub fn shards(mut self, shards: usize) -> Session {
+        self.shards = shards.max(1);
         self
     }
 
@@ -132,12 +206,23 @@ impl Session {
         self
     }
 
-    /// Run to quiescence and summarize.
+    /// Run to quiescence and summarize. Dispatches to the sharded world
+    /// when more than one shard was requested and the link supports it,
+    /// and to the classic single-threaded world otherwise — so existing
+    /// callers keep the bit-for-bit single-world event stream.
     pub fn run(self) -> SessionOutcome {
+        if self.shards > 1 {
+            match self.try_sharded() {
+                Ok(run) => return run.0,
+                Err(single) => return single.run_with_world().0,
+            }
+        }
         self.run_with_world().0
     }
 
-    /// Run and also hand back the world for deeper inspection.
+    /// Run and also hand back the world for deeper inspection. Always
+    /// uses the single-threaded world (ignoring [`Session::shards`]);
+    /// use [`Session::run_with_sharded_world`] for the parallel kernel.
     pub fn run_with_world(self) -> (SessionOutcome, World<Msg>, Vec<PeerReport>) {
         let Session {
             cfg,
@@ -147,7 +232,9 @@ impl Session {
             faults,
             limit,
             hosting,
+            shards: _,
         } = self;
+        let link = link.build_single();
         let mut world: World<Msg> = World::new(link, cfg.seed);
         let n = cfg.n;
         // Each data packet is at least one send + one delivery event, plus
@@ -204,6 +291,138 @@ impl Session {
         let outcome = summarize(&world, protocol, &cfg, &dir, &reports);
         (outcome, world, reports)
     }
+
+    /// Sharded run if the link supports it, or the session handed back
+    /// for a single-world fallback.
+    fn try_sharded(
+        mut self,
+    ) -> Result<(SessionOutcome, ShardedWorld<Msg>, Vec<PeerReport>), Box<Session>> {
+        match std::mem::replace(&mut self.link, LinkSpec::Default).build_factory() {
+            Ok(f) => {
+                self.link = LinkSpec::Factory(f);
+                Ok(self.run_with_sharded_world())
+            }
+            Err(spec) => {
+                self.link = spec;
+                Err(Box::new(self))
+            }
+        }
+    }
+
+    /// Run on the sharded parallel kernel and hand back the sharded
+    /// world for deeper inspection.
+    ///
+    /// Peers are block-partitioned into contiguous id ranges, one
+    /// [`Plane`] slab (or solo-actor range) per shard; the leaf and the
+    /// fault injector live on shard 0. The synchronization lookahead is
+    /// the link model's [`LinkModel::min_latency`].
+    ///
+    /// # Panics
+    /// If the session's link was set with [`Session::link`] (an
+    /// un-replicable instance) or has zero minimum latency — build it
+    /// with [`Session::link_factory`] instead.
+    pub fn run_with_sharded_world(self) -> (SessionOutcome, ShardedWorld<Msg>, Vec<PeerReport>) {
+        let Session {
+            cfg,
+            protocol,
+            link,
+            gate,
+            faults,
+            limit,
+            hosting,
+            shards,
+        } = self;
+        let n = cfg.n;
+        let shards = shards.clamp(1, n.max(1));
+        let factory: Box<dyn Fn() -> Box<dyn LinkModel + Send>> = match link {
+            LinkSpec::Instance(_) => panic!(
+                "a sharded session needs a per-shard link: use Session::link_factory \
+                 (Session::link instances cannot be replicated across shards)"
+            ),
+            LinkSpec::Default => Box::new(|| Box::new(default_link())),
+            LinkSpec::Factory(f) => f,
+        };
+        let lookahead = factory().min_latency();
+        assert!(
+            shards == 1 || lookahead > SimDuration::ZERO,
+            "sharded session link has zero min_latency — no conservative lookahead exists"
+        );
+        let mut world: ShardedWorld<Msg> =
+            ShardedWorld::new(shards, lookahead, cfg.seed, |_k| factory());
+        world.reserve_events(cfg.content.packets as usize * 2 + n * 8);
+        let dir = Arc::new(Directory::new(
+            (0..n as u32).map(ActorId).collect(),
+            ActorId(n as u32),
+        ));
+        // Contiguous block partition: shard k hosts peers
+        // [starts[k], starts[k+1]); global ids stay dense because the
+        // blocks are registered in ascending order.
+        let starts = shard_blocks(n, shards);
+        for k in 0..shards {
+            let block = starts[k]..starts[k + 1];
+            if block.is_empty() {
+                continue;
+            }
+            let members = block.clone().map(|p| PeerId(p as u32));
+            match (hosting, protocol) {
+                (Hosting::Plane, Protocol::Dcop | Protocol::Unicast) => {
+                    let members: Vec<DcopPeer> = members
+                        .map(|me| DcopPeer::new(me, dir.clone(), cfg.clone()))
+                        .collect();
+                    let first = world.add_group(k, block.len(), Box::new(Plane::new(members)));
+                    debug_assert_eq!(first, dir.actor_of(PeerId(block.start as u32)));
+                }
+                (Hosting::Plane, Protocol::Tcop) => {
+                    let members: Vec<TcopPeer> = members
+                        .map(|me| TcopPeer::new(me, dir.clone(), cfg.clone()))
+                        .collect();
+                    let first = world.add_group(k, block.len(), Box::new(Plane::new(members)));
+                    debug_assert_eq!(first, dir.actor_of(PeerId(block.start as u32)));
+                }
+                _ => {
+                    for me in members {
+                        let id =
+                            world.add_actor(k, make_peer(protocol, me, dir.clone(), cfg.clone()));
+                        debug_assert_eq!(id, dir.actor_of(me));
+                    }
+                }
+            }
+        }
+        let leaf_id = world.add_actor(
+            0,
+            Box::new(LeafActor::new(cfg.clone(), protocol, dir.clone(), gate)),
+        );
+        debug_assert_eq!(leaf_id, dir.leaf());
+        if !faults.is_empty() {
+            let faults = faults
+                .iter()
+                .map(|(at, p)| (*at, dir.actor_of(*p)))
+                .collect();
+            world.add_actor(0, Box::new(FaultInjector { faults }));
+        }
+        world.run_until(limit);
+
+        let reports = sharded_peer_reports(&world, protocol, &dir);
+        let leaf: &LeafActor = world.actor_as(dir.leaf()).expect("leaf actor");
+        let outcome = summarize_parts(world.metrics(), leaf, protocol, &cfg, &reports);
+        (outcome, world, reports)
+    }
+}
+
+/// Block-partition `n` peers over `shards` shards: `shards + 1` range
+/// starts, the first `n % shards` blocks one peer larger so sizes never
+/// differ by more than one.
+pub fn shard_blocks(n: usize, shards: usize) -> Vec<usize> {
+    let shards = shards.max(1);
+    let (base, extra) = (n / shards, n % shards);
+    let mut starts = Vec::with_capacity(shards + 1);
+    let mut at = 0;
+    starts.push(0);
+    for k in 0..shards {
+        at += base + usize::from(k < extra);
+        starts.push(at);
+    }
+    starts
 }
 
 /// Downcast a hosted contents peer (behind its [`std::any::Any`] face,
@@ -255,12 +474,34 @@ pub fn peer_reports(world: &World<Msg>, protocol: Protocol, dir: &Directory) -> 
         .collect()
 }
 
+/// Extract every contents peer's report from a finished sharded world.
+pub fn sharded_peer_reports(
+    world: &ShardedWorld<Msg>,
+    protocol: Protocol,
+    dir: &Directory,
+) -> Vec<PeerReport> {
+    dir.peers()
+        .map(|p| {
+            let id = dir.actor_of(p);
+            world
+                .actor_any(id)
+                .and_then(|a| report_from_any(a, protocol))
+                .expect("peer type")
+        })
+        .collect()
+}
+
 /// The paper's round counting per protocol (see crate docs for the
 /// interpretation): activation waves for the flooding protocols, three
 /// rounds per probe wave for TCoP, the fixed 2PC count for the
 /// centralized baseline.
 pub fn rounds_of(world: &World<Msg>, protocol: Protocol) -> u32 {
-    let m = world.metrics();
+    rounds_of_metrics(world.metrics(), protocol)
+}
+
+/// [`rounds_of`] over a bare metrics sink (shared by the single and the
+/// sharded world).
+pub fn rounds_of_metrics(m: &Metrics, protocol: Protocol) -> u32 {
     match protocol {
         Protocol::Tcop => {
             let probe_waves = m.counter(mnames::COORD_PROBE_WAVES_AT_ACTIVATION) as u32;
@@ -282,8 +523,19 @@ fn summarize(
     dir: &Directory,
     reports: &[PeerReport],
 ) -> SessionOutcome {
-    let m = world.metrics();
     let leaf: &LeafActor = world.actor_as(dir.leaf()).expect("leaf actor");
+    summarize_parts(world.metrics(), leaf, protocol, cfg, reports)
+}
+
+/// Distill the outcome from the pieces both kernels produce: the merged
+/// metrics, the finished leaf, and the peer reports.
+fn summarize_parts(
+    m: &Metrics,
+    leaf: &LeafActor,
+    protocol: Protocol,
+    cfg: &SessionConfig,
+    reports: &[PeerReport],
+) -> SessionOutcome {
     let packet_bits = (cfg.content.packet_bytes * 8) as f64;
     let analytic_bps: f64 = reports
         .iter()
@@ -294,7 +546,7 @@ fn summarize(
         protocol,
         n: cfg.n,
         fanout: cfg.fanout,
-        rounds: rounds_of(world, protocol),
+        rounds: rounds_of_metrics(m, protocol),
         coord_msgs_until_active: m.counter(mnames::COORD_MSGS_AT_ACTIVATION),
         coord_msgs_total: m.counter(mnames::COORD_MSGS),
         coord_bytes: m.counter(mnames::COORD_BYTES),

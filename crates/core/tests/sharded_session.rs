@@ -1,0 +1,145 @@
+//! Sharded-session integration: protocol runs on the parallel kernel
+//! must cover the population, complete streaming, and reproduce
+//! bit-for-bit for a fixed `(seed, shards)` pair.
+
+use mss_core::prelude::*;
+use mss_core::session::sharded_peer_reports;
+use mss_overlay::Directory;
+use mss_sim::event::ActorId;
+use std::sync::Arc;
+
+fn dir_for(n: usize) -> Arc<Directory> {
+    Arc::new(Directory::new(
+        (0..n as u32).map(ActorId).collect(),
+        ActorId(n as u32),
+    ))
+}
+
+#[test]
+fn dcop_sharded_covers_and_completes() {
+    for shards in [1usize, 2, 3] {
+        let cfg = SessionConfig::small(24, 3, 42);
+        let (outcome, world, _) = Session::new(cfg, Protocol::Dcop)
+            .shards(shards)
+            .run_with_sharded_world();
+        assert_eq!(outcome.activated, 24, "shards={shards}");
+        assert!(outcome.complete, "shards={shards}");
+        assert_eq!(world.shard_count(), shards);
+        assert_eq!(world.clamped_cross_events(), 0);
+    }
+}
+
+#[test]
+fn tcop_sharded_covers_and_completes() {
+    for shards in [2usize, 4] {
+        let cfg = SessionConfig::small(20, 3, 7);
+        let (outcome, _, _) = Session::new(cfg, Protocol::Tcop)
+            .shards(shards)
+            .run_with_sharded_world();
+        assert_eq!(outcome.activated, 20, "shards={shards}");
+        assert!(outcome.complete, "shards={shards}");
+        assert_eq!(outcome.rounds % 3, 0, "TCoP rounds come in threes");
+    }
+}
+
+#[test]
+fn sharded_run_is_deterministic_per_seed_and_shards() {
+    let run = |protocol| {
+        let cfg = SessionConfig::small(30, 4, 11);
+        let (outcome, world, reports) = Session::new(cfg, protocol)
+            .shards(3)
+            .run_with_sharded_world();
+        let counters: Vec<(String, u64)> = world
+            .metrics()
+            .counters()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect();
+        (outcome, world.event_digest(), counters, reports.len())
+    };
+    for protocol in [Protocol::Dcop, Protocol::Tcop] {
+        let a = run(protocol);
+        let b = run(protocol);
+        assert_eq!(a.0, b.0, "{protocol:?} outcome");
+        assert_eq!(a.1, b.1, "{protocol:?} digest");
+        assert_eq!(a.2, b.2, "{protocol:?} counters");
+        assert_eq!(a.3, b.3);
+    }
+}
+
+#[test]
+fn session_run_dispatches_to_shards_and_agrees_on_coverage() {
+    // `run()` with shards > 1 takes the sharded path (deterministic per
+    // (seed, shards)); the protocol invariants hold either way.
+    let sharded = Session::new(SessionConfig::small(16, 3, 5), Protocol::Dcop)
+        .shards(2)
+        .run();
+    let single = Session::new(SessionConfig::small(16, 3, 5), Protocol::Dcop).run();
+    assert_eq!(sharded.activated, 16);
+    assert_eq!(single.activated, 16);
+    assert!(sharded.complete && single.complete);
+}
+
+#[test]
+fn instance_link_falls_back_to_single_world() {
+    use mss_sim::link::FixedLatency;
+    use mss_sim::time::SimDuration;
+    // `link()` instances cannot shard; run() must silently use the
+    // single world and still finish.
+    let outcome = Session::new(SessionConfig::small(12, 3, 9), Protocol::Dcop)
+        .link(FixedLatency::new(SimDuration::from_millis(2)))
+        .shards(4)
+        .run();
+    assert_eq!(outcome.activated, 12);
+    assert!(outcome.complete);
+}
+
+#[test]
+fn link_factory_runs_sharded_with_model_lookahead() {
+    use mss_sim::link::FixedLatency;
+    use mss_sim::time::SimDuration;
+    let (outcome, world, _) = Session::new(SessionConfig::small(18, 3, 3), Protocol::Dcop)
+        .link_factory(|| FixedLatency::new(SimDuration::from_millis(2)))
+        .shards(3)
+        .run_with_sharded_world();
+    assert_eq!(world.lookahead(), SimDuration::from_millis(2));
+    assert_eq!(outcome.activated, 18);
+    assert!(outcome.complete);
+}
+
+#[test]
+fn sharded_fault_injection_still_completes_with_parity() {
+    let mut cfg = SessionConfig::small(8, 4, 19);
+    cfg.parity_interval = 3;
+    let (outcome, _, _) = Session::new(cfg, Protocol::Dcop)
+        .fault(mss_sim::time::SimDuration::from_millis(300), PeerId(2))
+        .shards(2)
+        .run_with_sharded_world();
+    assert!(outcome.complete, "parity recovery failed under sharding");
+}
+
+#[test]
+fn sharded_reports_match_directory_population() {
+    let cfg = SessionConfig::small(15, 3, 2);
+    let n = cfg.n;
+    let (_, world, reports) = Session::new(cfg, Protocol::Tcop)
+        .shards(2)
+        .run_with_sharded_world();
+    assert_eq!(reports.len(), n);
+    assert!(reports.iter().all(|r| r.active));
+    let again = sharded_peer_reports(&world, Protocol::Tcop, &dir_for(n));
+    assert_eq!(again.len(), n);
+}
+
+#[test]
+fn shard_blocks_partition_exactly() {
+    use mss_core::session::shard_blocks;
+    for (n, s) in [(10usize, 3usize), (7, 7), (100, 8), (5, 1), (3, 5)] {
+        let starts = shard_blocks(n, s);
+        assert_eq!(starts.len(), s + 1);
+        assert_eq!(*starts.first().unwrap(), 0);
+        assert_eq!(*starts.last().unwrap(), n);
+        let sizes: Vec<usize> = starts.windows(2).map(|w| w[1] - w[0]).collect();
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(max - min <= 1, "n={n} s={s}: uneven blocks {sizes:?}");
+    }
+}

@@ -140,6 +140,7 @@ mod tests {
         let opts = RunOpts {
             seeds: 3,
             threads: 2,
+            shards: 0,
             full: false,
         };
         let rows = sweep(&[3], &opts);

@@ -134,6 +134,7 @@ mod tests {
         let opts = RunOpts {
             seeds: 4,
             threads: 2,
+            shards: 0,
             full: false,
         };
         let rows = sweep(Protocol::Dcop, 20, 4, &[0, 1], &opts);
@@ -155,6 +156,7 @@ mod tests {
         let opts = RunOpts {
             seeds: 3,
             threads: 2,
+            shards: 0,
             full: false,
         };
         let rows = sweep(Protocol::Dcop, 12, 4, &[9], &opts);

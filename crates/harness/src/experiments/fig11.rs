@@ -58,6 +58,7 @@ mod tests {
         RunOpts {
             seeds: 2,
             threads: 2,
+            shards: 0,
             full: false,
         }
     }

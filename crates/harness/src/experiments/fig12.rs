@@ -148,6 +148,7 @@ mod tests {
         RunOpts {
             seeds: 2,
             threads: 2,
+            shards: 0,
             full: false,
         }
     }
@@ -159,6 +160,7 @@ mod tests {
         let opts = RunOpts {
             seeds: 2,
             threads: 2,
+            shards: 0,
             full: false,
         };
         let _ = &opts;

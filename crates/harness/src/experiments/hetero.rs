@@ -209,6 +209,7 @@ mod tests {
         let opts = RunOpts {
             seeds: 2,
             threads: 2,
+            shards: 0,
             full: false,
         };
         let rows = streaming_sweep(&[8], &opts);

@@ -163,6 +163,7 @@ mod tests {
         let opts = RunOpts {
             seeds: 3,
             threads: 2,
+            shards: 0,
             full: false,
         };
         let rows = sweep(
@@ -187,6 +188,7 @@ mod tests {
         let opts = RunOpts {
             seeds: 3,
             threads: 2,
+            shards: 0,
             full: false,
         };
         let rows = sweep(

@@ -94,6 +94,7 @@ mod tests {
         let opts = RunOpts {
             seeds: 4,
             threads: 2,
+            shards: 0,
             full: false,
         };
         let rows = sweep(&[32, 256], &opts);

@@ -15,6 +15,8 @@
 //! | [`coding`] | XOR parity vs Reed–Solomon under peer crashes |
 //! | [`membership`] | gossip bootstrap of the CP set (O(log n) rounds) |
 //! | [`ablation`] | design-choice ablations (piggybacking, re-enhancement) |
+//! | [`scaling`] | events/sec at n=10²–10⁵ on the sharded kernel |
+//! | [`shardcheck`] | sharded-kernel determinism gate (n=10⁴) |
 
 pub mod ablation;
 pub mod coding;
@@ -28,6 +30,8 @@ pub mod loss;
 pub mod membership;
 pub mod multileaf;
 pub mod overrun;
+pub mod scaling;
+pub mod shardcheck;
 pub mod startup;
 
 use crate::table::Table;
@@ -39,6 +43,9 @@ pub struct RunOpts {
     pub seeds: u64,
     /// Worker threads (0 = all cores).
     pub threads: usize,
+    /// Simulation shards per session for the sharded-kernel experiments
+    /// (0 = sweep a default grid; other experiments run single-world).
+    pub shards: usize,
     /// Sweep the full `H = 2..=100` grid instead of the default subset.
     pub full: bool,
 }
@@ -48,6 +55,7 @@ impl Default for RunOpts {
         RunOpts {
             seeds: 8,
             threads: 0,
+            shards: 0,
             full: false,
         }
     }

@@ -118,6 +118,7 @@ mod tests {
         let opts = RunOpts {
             seeds: 2,
             threads: 2,
+            shards: 0,
             full: false,
         };
         let rows = sweep(Protocol::Dcop, &[1, 4], &opts);

@@ -119,6 +119,7 @@ mod tests {
         let opts = RunOpts {
             seeds: 3,
             threads: 2,
+            shards: 0,
             full: false,
         };
         let rows = sweep(&[Protocol::Dcop, Protocol::Broadcast], &[3.0], &opts);

@@ -12,9 +12,10 @@
 //! ```
 //!
 //! or a single experiment (`fig10`, `fig11`, `fig12`, `compare`,
-//! `faults`, `loss`, `overrun`, `hetero`, `ablation`) with options
-//! `--seeds N`, `--threads N`, `--full`. Tables print to stdout and CSVs
-//! land under `results/`.
+//! `faults`, `loss`, `overrun`, `hetero`, `multileaf`, `startup`,
+//! `coding`, `membership`, `ablation`, `scaling`, `shardcheck`) with
+//! options `--seeds N`, `--threads N`, `--shards N`, `--full`. Tables
+//! print to stdout and CSVs land under `results/`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -44,6 +45,8 @@ pub const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("coding", experiments::coding::run),
     ("membership", experiments::membership::run),
     ("ablation", experiments::ablation::run),
+    ("scaling", experiments::scaling::run),
+    ("shardcheck", experiments::shardcheck::run),
 ];
 
 /// Look up an experiment by CLI name.

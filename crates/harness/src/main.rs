@@ -4,7 +4,9 @@
 use mss_harness::{experiment_by_name, RunOpts, EXPERIMENTS};
 
 fn usage() -> ! {
-    eprintln!("usage: mss-experiments <experiment|all> [--seeds N] [--threads N] [--full]");
+    eprintln!(
+        "usage: mss-experiments <experiment|all> [--seeds N] [--threads N] [--shards N] [--full]"
+    );
     eprintln!("       mss-experiments timeline [protocol] (ascii session timeline)");
     eprintln!("experiments:");
     for (name, _) in EXPERIMENTS {
@@ -49,6 +51,12 @@ fn main() {
             }
             "--threads" => {
                 opts.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--shards" => {
+                opts.shards = it
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())

@@ -10,6 +10,8 @@
 //! - [`event`]: a deterministic `(time, sequence)`-ordered event queue,
 //! - [`world`]: the actor scheduler with timers and crash-stop fault
 //!   injection,
+//! - [`shard`]: a sharded parallel world running the same actors across
+//!   threads under conservative time-window synchronization,
 //! - [`link`]: pluggable network models (fixed latency, jitter,
 //!   i.i.d. and Gilbert–Elliott bursty loss, bandwidth queueing),
 //! - [`rng`]: a splittable PCG generator so runs are bit-reproducible,
@@ -61,6 +63,7 @@ pub mod link;
 pub mod metrics;
 pub mod pool;
 pub mod rng;
+pub mod shard;
 pub mod time;
 pub mod world;
 
@@ -72,6 +75,7 @@ pub mod prelude {
     };
     pub use crate::metrics::Metrics;
     pub use crate::rng::SimRng;
+    pub use crate::shard::{ShardStats, ShardedWorld};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::world::{Actor, Ctx, Runtime, SimMessage, World};
 }

@@ -36,6 +36,22 @@ pub trait LinkModel {
         bytes: usize,
         rng: &mut SimRng,
     ) -> LinkVerdict;
+
+    /// A lower bound on the one-way delay of *every* delivered message:
+    /// [`LinkModel::process`] must never return `Deliver(t)` with
+    /// `t < now + min_latency()`. The sharded world
+    /// ([`crate::shard::ShardedWorld`]) uses this bound as its
+    /// conservative lookahead — a model that understates its own minimum
+    /// is merely conservative (smaller windows, same results), but one
+    /// that *overstates* it breaks the causality contract and is clamped
+    /// and counted (a hard error under `debug_assertions`).
+    ///
+    /// The default is the only universally safe bound, zero — which also
+    /// tells the sharded world the model cannot support cross-shard
+    /// lookahead at all.
+    fn min_latency(&self) -> SimDuration {
+        SimDuration::ZERO
+    }
 }
 
 impl LinkModel for Box<dyn LinkModel> {
@@ -48,6 +64,27 @@ impl LinkModel for Box<dyn LinkModel> {
         rng: &mut SimRng,
     ) -> LinkVerdict {
         self.as_mut().process(now, from, to, bytes, rng)
+    }
+
+    fn min_latency(&self) -> SimDuration {
+        self.as_ref().min_latency()
+    }
+}
+
+impl LinkModel for Box<dyn LinkModel + Send> {
+    fn process(
+        &mut self,
+        now: SimTime,
+        from: ActorId,
+        to: ActorId,
+        bytes: usize,
+        rng: &mut SimRng,
+    ) -> LinkVerdict {
+        self.as_mut().process(now, from, to, bytes, rng)
+    }
+
+    fn min_latency(&self) -> SimDuration {
+        self.as_ref().min_latency()
     }
 }
 
@@ -76,6 +113,10 @@ impl LinkModel for FixedLatency {
     ) -> LinkVerdict {
         LinkVerdict::Deliver(now + self.latency)
     }
+
+    fn min_latency(&self) -> SimDuration {
+        self.latency
+    }
 }
 
 /// Fixed base latency plus uniform random jitter in `[0, jitter]`.
@@ -103,6 +144,10 @@ impl LinkModel for JitterLatency {
         };
         LinkVerdict::Deliver(now + self.base + SimDuration::from_nanos(extra))
     }
+
+    fn min_latency(&self) -> SimDuration {
+        self.base
+    }
 }
 
 /// Drops each message independently with probability `p`; otherwise
@@ -128,6 +173,10 @@ impl<L: LinkModel> LinkModel for IidLoss<L> {
         } else {
             self.inner.process(now, from, to, bytes, rng)
         }
+    }
+
+    fn min_latency(&self) -> SimDuration {
+        self.inner.min_latency()
     }
 }
 
@@ -189,6 +238,10 @@ impl<L: LinkModel> LinkModel for GilbertElliott<L> {
             self.inner.process(now, from, to, bytes, rng)
         }
     }
+
+    fn min_latency(&self) -> SimDuration {
+        self.inner.min_latency()
+    }
 }
 
 /// Serializes messages per directed pair at a finite bandwidth: a message
@@ -239,6 +292,12 @@ impl<L: LinkModel> LinkModel for Bandwidth<L> {
             LinkVerdict::Deliver(t) => LinkVerdict::Deliver(t),
             LinkVerdict::Drop => LinkVerdict::Drop,
         }
+    }
+
+    /// Transmission time only tightens the bound (a zero-byte message
+    /// adds nothing), so the inner model's floor is the safe answer.
+    fn min_latency(&self) -> SimDuration {
+        self.inner.min_latency()
     }
 }
 
@@ -294,6 +353,10 @@ impl<L: LinkModel> LinkModel for PerSenderBandwidth<L> {
         let done = start + tx;
         *busy = done;
         self.inner.process(done, from, to, bytes, rng)
+    }
+
+    fn min_latency(&self) -> SimDuration {
+        self.inner.min_latency()
     }
 }
 

@@ -135,7 +135,9 @@ pub trait ActorGroup<M: SimMessage>: Send + 'static {
 }
 
 /// Where one [`ActorId`] lives: its own box, or a slot of a group slab.
-enum Slot<M: SimMessage> {
+/// Shared with the sharded world, whose per-shard slabs use the same
+/// storage scheme over shard-local indices.
+pub(crate) enum Slot<M: SimMessage> {
     /// A free-standing actor (`None` only transiently during dispatch).
     Solo(Option<Box<dyn Actor<M>>>),
     /// Member `member` of `groups[group]`.
@@ -145,7 +147,7 @@ enum Slot<M: SimMessage> {
 /// A dispatch target moved out of its slot for the duration of one
 /// callback (the reentrancy guard): the solo actor's box, or the whole
 /// group box plus the addressed member index.
-enum Taken<M: SimMessage> {
+pub(crate) enum Taken<M: SimMessage> {
     Actor(Box<dyn Actor<M>>),
     Group(usize, u32, Box<dyn ActorGroup<M>>),
 }
@@ -153,14 +155,14 @@ enum Taken<M: SimMessage> {
 /// Liveness lookup shared by every dispatch site: out-of-range ids are
 /// treated as dead (never registered ⇒ cannot receive anything).
 #[inline]
-fn is_alive_idx(alive: &[bool], idx: usize) -> bool {
+pub(crate) fn is_alive_idx(alive: &[bool], idx: usize) -> bool {
     alive.get(idx).copied().unwrap_or(false)
 }
 
 /// Crash-stop by index; out-of-range ids are a no-op, matching
 /// [`is_alive_idx`].
 #[inline]
-fn kill_idx(alive: &mut [bool], idx: usize) {
+pub(crate) fn kill_idx(alive: &mut [bool], idx: usize) {
     if let Some(a) = alive.get_mut(idx) {
         *a = false;
     }
@@ -178,16 +180,16 @@ fn kill_idx(alive: &mut [bool], idx: usize) {
 /// misfire if its slot were recycled 2³² times before dispatch, which no
 /// realistic run approaches.
 #[derive(Default)]
-struct TimerTable {
+pub(crate) struct TimerTable {
     /// Current generation per slot; odd/even carries no meaning, only
     /// equality with the id's stamp.
     gens: Vec<u32>,
     free: Vec<u32>,
-    live: usize,
+    pub(crate) live: usize,
 }
 
 impl TimerTable {
-    fn arm(&mut self) -> TimerId {
+    pub(crate) fn arm(&mut self) -> TimerId {
         let slot = match self.free.pop() {
             Some(s) => s,
             None => {
@@ -201,7 +203,7 @@ impl TimerTable {
 
     /// Consume `id` (cancel or fire). Returns false when the id is
     /// stale — already fired or already cancelled.
-    fn take(&mut self, id: TimerId) -> bool {
+    pub(crate) fn take(&mut self, id: TimerId) -> bool {
         let slot = (id.0 >> 32) as usize;
         let gen = id.0 as u32;
         match self.gens.get_mut(slot) {
@@ -350,6 +352,25 @@ impl<'a, M: SimMessage> Runtime<M> for Ctx<'a, M> {
         self.metrics.add_id(metrics::NET_SENT_ID, count);
         self.metrics.add_id(metrics::NET_BYTES_SENT_ID, bytes);
     }
+}
+
+/// A point-in-time snapshot of a world's population and scheduler load —
+/// the numbers shard partitioning and capacity planning need, behind one
+/// stable API instead of ad-hoc field accessors.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorldStats {
+    /// Registered actors, alive or not (dense id space size).
+    pub actors: usize,
+    /// Actors not crash-stopped.
+    pub alive: usize,
+    /// Events currently pending in the queue.
+    pub pending_events: usize,
+    /// Timers armed but neither fired nor cancelled.
+    pub pending_timers: usize,
+    /// Events dispatched since construction (timers included).
+    pub events_dispatched: u64,
+    /// Most events ever pending at once.
+    pub queue_high_water: usize,
 }
 
 /// Owns the actors and runs the event loop.
@@ -680,6 +701,18 @@ impl<M: SimMessage> World<M> {
     /// Most events that were ever pending at once (sizing diagnostics).
     pub fn queue_high_water(&self) -> usize {
         self.queue.high_water()
+    }
+
+    /// Population and scheduler-load snapshot (see [`WorldStats`]).
+    pub fn stats(&self) -> WorldStats {
+        WorldStats {
+            actors: self.actors.len(),
+            alive: self.alive.iter().filter(|a| **a).count(),
+            pending_events: self.queue.len(),
+            pending_timers: self.timers.live,
+            events_dispatched: self.dispatched,
+            queue_high_water: self.queue.high_water(),
+        }
     }
 }
 

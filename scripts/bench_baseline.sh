@@ -129,3 +129,38 @@ printf '\n' >>"$history"
 
 echo "wrote $out (history: $history):"
 cat "$out"
+
+# Sharded-kernel scaling sweep: events/sec for DCoP and TCoP at
+# n ∈ {100, 10^3, 10^4, 10^5} × shards ∈ {1, 4, max cores}, appended to
+# the history as its own line. Minutes of wall-clock at n=10^5 — opt out
+# with MSS_SKIP_SCALING=1 when only the kernel microbenches matter, or
+# MSS_SCALING_FULL=0 to keep the sweep but stop at n=10^4 (slow boxes:
+# the single-shard TCoP baseline at 10^5 runs tens of minutes).
+if [ "${MSS_SKIP_SCALING:-0}" = "1" ]; then
+    echo "bench_baseline.sh: scaling sweep skipped (MSS_SKIP_SCALING=1)"
+    exit 0
+fi
+scaling_args=(scaling)
+if [ "${MSS_SCALING_FULL:-1}" = "1" ]; then
+    scaling_args+=(--full)
+fi
+if ! cargo run --release -q -p mss-harness -- "${scaling_args[@]}"; then
+    echo "bench_baseline.sh: scaling sweep failed" >&2
+    exit 1
+fi
+scaling_csv="results/scaling.csv"
+if [ ! -s "$scaling_csv" ]; then
+    echo "bench_baseline.sh: scaling sweep wrote no $scaling_csv" >&2
+    exit 1
+fi
+{
+    printf '{"commit": "%s", "recorded": "%s", "bench": "scaling", "events_per_sec": {' \
+        "$commit" "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    # protocol,n,shards,events,wall_s,events_per_sec,activated,complete,imbalance
+    awk -F, 'NR > 1 {
+        key = sprintf("%s/n%s/shards%s", $1, $2, $3)
+        printf "%s\"%s\": %.0f", (n++ ? ", " : ""), key, $6
+    }' "$scaling_csv"
+    printf '}}\n'
+} >>"$history"
+echo "bench_baseline.sh: scaling sweep appended to $history"

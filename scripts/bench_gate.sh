@@ -29,15 +29,25 @@ if [ ! -s "$history" ]; then
     exit 0
 fi
 
-# Latest history line with a session_throughput record; its events/sec
-# live in the first {...} after "session_throughput".
-baseline_line=$(grep '"session_throughput"' "$history" | tail -1)
-if [ -z "$baseline_line" ]; then
-    echo "bench_gate.sh: no session_throughput entry in $history"
+# Latest history line with a *parseable* session_throughput record; its
+# events/sec live in the first {...} after "session_throughput". Entries
+# whose schema we can't parse are skipped with a loud warning — a
+# malformed or future-format line must not brick the gate.
+baseline=""
+while IFS= read -r line; do
+    candidate=$(sed -e 's/.*"session_throughput"[^{]*{[^{]*{//' -e 's/}.*//' <<<"$line")
+    if grep -Eq '"[A-Za-z0-9_-]+": *[0-9]+' <<<"$candidate"; then
+        baseline="$candidate"
+        break
+    fi
+    echo "bench_gate.sh: WARNING — skipping unparseable session_throughput entry:" >&2
+    echo "bench_gate.sh: WARNING —   ${line:0:160}" >&2
+done < <(grep '"session_throughput"' "$history" | tac)
+
+if [ -z "$baseline" ]; then
+    echo "bench_gate.sh: no parseable session_throughput entry in $history"
     exit 0
 fi
-
-baseline=$(sed -e 's/.*"session_throughput"[^{]*{[^{]*{//' -e 's/}.*//' <<<"$baseline_line")
 
 current_raw=$(cargo bench -p mss-bench --bench session_throughput)
 

@@ -27,10 +27,16 @@ echo "==> coding-plane kernel equivalence (word-wide kernels vs scalar loops)"
 cargo test -q -p mss-media --test kernel_equivalence
 
 echo "==> scheduler determinism: fig10/fig12 CSVs must be byte-identical"
-cargo run --release -q -p mss-harness -- fig10 --seeds 16 >/dev/null
-cargo run --release -q -p mss-harness -- fig12 --seeds 16 >/dev/null
-git diff --exit-code -- results/fig10_dcop.csv results/fig12_rate.csv \
-    || { echo "verify.sh: scheduler changed simulation results" >&2; exit 1; }
+echo "    (and independent of --threads: sweep parallelism must not leak)"
+for t in 1 2 8; do
+    cargo run --release -q -p mss-harness -- fig10 --seeds 16 --threads "$t" >/dev/null
+    cargo run --release -q -p mss-harness -- fig12 --seeds 16 --threads "$t" >/dev/null
+    git diff --exit-code -- results/fig10_dcop.csv results/fig12_rate.csv \
+        || { echo "verify.sh: simulation results changed (--threads $t)" >&2; exit 1; }
+done
+
+echo "==> sharded-kernel determinism gate (n=10^4 smoke, shards {1,2,4})"
+cargo run --release -q -p mss-harness -- shardcheck >/dev/null
 
 echo "==> bench smoke (each benchmark runs once in test mode)"
 cargo bench -p mss-bench -- --test
