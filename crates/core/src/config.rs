@@ -258,6 +258,33 @@ impl SessionConfig {
         }
     }
 
+    /// A live-plane session (real sockets, wall clock) at loopback
+    /// scale. Starts from [`SessionConfig::large`] — the quadratic
+    /// guaranteed-coverage extensions stay off, for the same reasons —
+    /// and adapts the timing knobs to wall-clock hosting:
+    ///
+    /// - `reply_timeout` is relaxed: on a loaded box, scheduling jitter
+    ///   between a probe and its reply can exceed the simulator's
+    ///   100 ms budget, which would spuriously re-probe;
+    /// - NACK repair is on: kernel receive-queue overflow is real
+    ///   (counted by `net.rx_dropped`) and repair closes the stream
+    ///   despite it, exactly as over lossy links.
+    ///
+    /// Note the full-view piggyback bounds a live session around
+    /// n ≈ 4·10³ today: a view bit-vector rides in every request and
+    /// control packet, and a UDP datagram caps the frame at ~64 KiB.
+    pub fn live(n: usize, fanout: usize, seed: u64) -> SessionConfig {
+        SessionConfig {
+            reply_timeout: SimDuration::from_millis(250),
+            repair: Some(RepairConfig {
+                check_interval: SimDuration::from_millis(150),
+                fanout: fanout.min(n),
+                max_rounds: 40,
+            }),
+            ..SessionConfig::large(n, fanout, seed)
+        }
+    }
+
     /// Validate invariants; panics with a descriptive message when the
     /// configuration is inconsistent.
     pub fn validate(&self) {

@@ -17,6 +17,7 @@
 //! | [`ablation`] | design-choice ablations (piggybacking, re-enhancement) |
 //! | [`scaling`] | events/sec at n=10²–10⁵ on the sharded kernel |
 //! | [`shardcheck`] | sharded-kernel determinism gate (n=10⁴) |
+//! | [`live_scale`] | live UDP loopback: ready-queue runtime vs thread-per-peer |
 
 pub mod ablation;
 pub mod coding;
@@ -26,6 +27,7 @@ pub mod fig10;
 pub mod fig11;
 pub mod fig12;
 pub mod hetero;
+pub mod live_scale;
 pub mod loss;
 pub mod membership;
 pub mod multileaf;

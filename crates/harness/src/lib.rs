@@ -13,7 +13,8 @@
 //!
 //! or a single experiment (`fig10`, `fig11`, `fig12`, `compare`,
 //! `faults`, `loss`, `overrun`, `hetero`, `multileaf`, `startup`,
-//! `coding`, `membership`, `ablation`, `scaling`, `shardcheck`) with
+//! `coding`, `membership`, `ablation`, `scaling`, `shardcheck`,
+//! `live_scale`) with
 //! options `--seeds N`, `--threads N`, `--shards N`, `--full`. Tables
 //! print to stdout and CSVs land under `results/`.
 
@@ -47,6 +48,7 @@ pub const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("ablation", experiments::ablation::run),
     ("scaling", experiments::scaling::run),
     ("shardcheck", experiments::shardcheck::run),
+    ("live_scale", experiments::live_scale::run),
 ];
 
 /// Look up an experiment by CLI name.

@@ -7,7 +7,6 @@
 //! same top-level facts as the simulated one (coverage, completion,
 //! coordination volume), which the integration tests compare.
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -21,7 +20,13 @@ use mss_overlay::{Directory, PeerId};
 use mss_sim::event::ActorId;
 use mss_sim::metrics::Metrics;
 
-use crate::runtime::{host_actor, Transport};
+use crate::runtime::{await_session, host_actor, SessionControl, Transport};
+
+/// Post-completion settle: long enough for in-flight datagrams and the
+/// final coordination replies to land, far shorter than any wall
+/// timeout a test would otherwise sleep out in full. Public so
+/// benchmarks can subtract this fixed grace from measured wall-clock.
+pub const SETTLE: Duration = Duration::from_millis(200);
 
 /// Channel-based transport endpoint for one actor.
 pub struct BusTransport {
@@ -84,6 +89,10 @@ pub struct ThreadedOutcome {
     pub reports: Vec<PeerReport>,
     /// Merged metrics from every thread.
     pub metrics: Metrics,
+    /// Wall-clock from session start to the leaf's done signal, `None`
+    /// when the wall deadline (not completion) ended the run. Excludes
+    /// the post-completion settle grace and teardown.
+    pub time_to_done: Option<Duration>,
 }
 
 /// A streaming session over real threads.
@@ -136,7 +145,7 @@ impl ThreadedSession {
             receivers.push(rx);
         }
         let senders = Arc::new(senders);
-        let stop = Arc::new(AtomicBool::new(false));
+        let ctl = Arc::new(SessionControl::new());
         let epoch = Instant::now();
 
         let mut handles = Vec::with_capacity(total);
@@ -153,10 +162,10 @@ impl ThreadedSession {
                 },
                 rng: mss_sim::rng::SimRng::new(cfg.seed).fork(0x1055 + i as u64),
             };
-            let stop = Arc::clone(&stop);
+            let ctl = Arc::clone(&ctl);
             let seed = cfg.seed;
             handles.push(std::thread::spawn(move || {
-                host_actor(me, actor, transport, epoch, seed, n + 1, &stop)
+                host_actor(me, actor, transport, epoch, seed, n + 1, &ctl, None)
             }));
         }
         let leaf_id = ActorId(n as u32);
@@ -168,9 +177,16 @@ impl ThreadedSession {
             peers: Arc::clone(&senders),
             inbox: receivers.pop().expect("leaf receiver"),
         };
-        let leaf_stop = Arc::clone(&stop);
+        let leaf_ctl = Arc::clone(&ctl);
         let seed = cfg.seed;
         let leaf_handle = std::thread::spawn(move || {
+            // The leaf's thread watches its own completion and signals
+            // the orchestrator the moment the content is reconstructed.
+            let watch = |a: &dyn mss_sim::world::Actor<Msg>| {
+                a.as_any()
+                    .downcast_ref::<LeafActor>()
+                    .is_some_and(LeafActor::is_complete)
+            };
             host_actor(
                 leaf_id,
                 leaf,
@@ -178,15 +194,15 @@ impl ThreadedSession {
                 epoch,
                 seed,
                 n + 1,
-                &leaf_stop,
+                &leaf_ctl,
+                Some(&watch),
             )
         });
 
-        // The orchestrator polls nothing mid-run (threads own their
-        // actors); it simply bounds the wall time, with a small grace
-        // period so late packets settle when the content is short.
-        std::thread::sleep(wall_timeout);
-        stop.store(true, Ordering::Relaxed);
+        // Completion-signaled shutdown: the orchestrator returns as soon
+        // as the leaf finishes (plus a settle grace for stragglers); the
+        // wall timeout is only the upper bound for stuck sessions.
+        let time_to_done = await_session(&ctl, wall_timeout, SETTLE);
 
         let mut metrics = Metrics::new();
         let mut reports = Vec::with_capacity(n);
@@ -210,6 +226,7 @@ impl ThreadedSession {
             coord_msgs: metrics.counter(mss_core::metrics::COORD_MSGS),
             reports,
             metrics,
+            time_to_done,
         }
     }
 }

@@ -239,6 +239,22 @@ pub fn encode(from: ActorId, msg: &Msg) -> Bytes {
 /// transport instead of allocating per delivery.
 pub fn encode_into(from: ActorId, msg: &Msg, out: &mut BytesMut) {
     out.clear();
+    put_frame(from, msg, out);
+}
+
+/// [`encode_into`] with a routing prefix: `[to: u32 LE]` then the
+/// ordinary frame. The ready-queue runtime's shard sockets carry frames
+/// for many tasks, and the 4-byte destination header lets the poll loop
+/// route a datagram to its mailbox before (and without) decoding it.
+pub fn encode_routed_into(to: ActorId, from: ActorId, msg: &Msg, out: &mut BytesMut) {
+    out.clear();
+    out.put_u32_le(to.0);
+    put_frame(from, msg, out);
+}
+
+/// Append one `[from][kind][body]` frame (no clear — callers manage the
+/// buffer and any routing prefix).
+fn put_frame(from: ActorId, msg: &Msg, out: &mut BytesMut) {
     out.put_u32_le(from.0);
     match msg {
         Msg::Request(r) => {

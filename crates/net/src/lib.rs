@@ -7,10 +7,17 @@
 //! - [`bus`]: one OS thread per peer, mpsc channels in between
 //!   ([`bus::ThreadedSession`]),
 //! - [`udp`]: one UDP loopback socket per peer, frames encoded by the
-//!   hand-rolled binary [`codec`] ([`udp::run_udp_session`]).
+//!   hand-rolled binary [`codec`] ([`udp::run_udp_session`]),
+//! - [`live`]: the scalable plane — peers are cooperative tasks on a
+//!   ready-queue scheduler ([`ready`]), I/O is a handful of shared
+//!   nonblocking sockets driven by epoll with `recvmmsg`/`sendmmsg`
+//!   batching ([`sys`]); thousands of peers per box
+//!   ([`live::LiveSession`]).
 //!
-//! Both are built on [`runtime::host_actor`], which drives any
-//! `mss_sim::world::Actor` against a wall clock and a [`runtime::Transport`].
+//! The first two are built on [`runtime::host_actor`], which drives any
+//! `mss_sim::world::Actor` against a wall clock and a
+//! [`runtime::Transport`]; all session runners share completion-signaled
+//! shutdown through [`runtime::SessionControl`].
 //!
 //! ```no_run
 //! use std::time::Duration;
@@ -27,8 +34,12 @@
 
 pub mod bus;
 pub mod codec;
+pub mod live;
+pub(crate) mod ready;
 pub mod runtime;
+pub(crate) mod sys;
 pub mod udp;
 
 pub use bus::{ThreadedOutcome, ThreadedSession};
-pub use runtime::{host_actor, HostReport, NetRuntime, Transport};
+pub use live::LiveSession;
+pub use runtime::{host_actor, HostReport, NetRuntime, SessionControl, Transport};

@@ -8,6 +8,7 @@
 
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use mss_core::msg::Msg;
@@ -16,6 +17,101 @@ use mss_sim::metrics::{self, Metrics};
 use mss_sim::rng::SimRng;
 use mss_sim::time::{SimDuration, SimTime};
 use mss_sim::world::{Actor, Runtime, SimMessage};
+
+/// Shared shutdown/completion state for one live session.
+///
+/// Replaces the old bare `AtomicBool` stop flag: hosts raise `done` the
+/// moment the session's completion condition holds (the leaf finished
+/// streaming), and the orchestrator waits on *done-or-deadline* instead
+/// of always sleeping the full wall timeout. `stop` remains the hard
+/// cutoff every hosting loop polls.
+#[derive(Default)]
+pub struct SessionControl {
+    stop: AtomicBool,
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl SessionControl {
+    /// Fresh control block (not stopped, not done).
+    pub fn new() -> SessionControl {
+        SessionControl::default()
+    }
+
+    /// Raise the hard stop flag; hosting loops exit at their next poll.
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Wake any orchestrator still blocked in `wait_done`.
+        self.cv.notify_all();
+    }
+
+    /// True once `request_stop` has been called.
+    pub fn should_stop(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+
+    /// Mark the session's completion condition as reached and wake the
+    /// orchestrator. Idempotent.
+    pub fn signal_done(&self) {
+        let mut done = self.done.lock().expect("session control poisoned");
+        if !*done {
+            *done = true;
+            self.cv.notify_all();
+        }
+    }
+
+    /// True once `signal_done` has been called.
+    pub fn is_done(&self) -> bool {
+        *self.done.lock().expect("session control poisoned")
+    }
+
+    /// Block until the session signals done or `timeout` elapses.
+    /// Returns true when completion (not the deadline) ended the wait.
+    pub fn wait_done(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut done = self.done.lock().expect("session control poisoned");
+        while !*done && !self.should_stop() {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(done, deadline - now)
+                .expect("session control poisoned");
+            done = guard;
+        }
+        *done
+    }
+}
+
+/// Orchestrator-side shutdown: wait for completion or the wall deadline,
+/// then (on completion) a short settle grace so in-flight stragglers
+/// land — late data packets, final coordination replies — before the
+/// hard stop. Returns the elapsed time until the done signal, or `None`
+/// when the deadline ended the wait. This is the replacement for
+/// `sleep(wall_timeout)`: a finished session pays `settle`, not the
+/// full timeout — and the returned duration is the honest
+/// time-to-completion, excluding that teardown grace.
+pub fn await_session(
+    ctl: &SessionControl,
+    wall_timeout: Duration,
+    settle: Duration,
+) -> Option<Duration> {
+    let start = Instant::now();
+    let done = ctl.wait_done(wall_timeout);
+    let elapsed = start.elapsed();
+    if done {
+        std::thread::sleep(settle);
+    }
+    ctl.request_stop();
+    done.then_some(elapsed)
+}
+
+/// Completion predicate evaluated against a hosted actor after each
+/// event; when it first returns true the host raises
+/// [`SessionControl::signal_done`].
+pub type WatchFn = dyn Fn(&dyn Actor<Msg>) -> bool + Send + Sync;
 
 /// How an actor thread exchanges messages with the rest of the session.
 pub trait Transport {
@@ -126,10 +222,15 @@ pub struct HostReport {
     pub metrics: Metrics,
 }
 
-/// Drive one actor against a transport until `stop` is raised.
+/// Drive one actor against a transport until the session stops.
 ///
 /// The loop fires due timers, then blocks on the transport until the next
 /// timer deadline (capped at 5 ms so the stop flag stays responsive).
+/// When `watch` is given, it runs after every delivered event and its
+/// first `true` raises [`SessionControl::signal_done`] — this is how a
+/// session finishes as soon as the leaf completes instead of sleeping
+/// out the whole wall timeout.
+#[allow(clippy::too_many_arguments)]
 pub fn host_actor<T: Transport>(
     me: ActorId,
     mut actor: Box<dyn Actor<Msg>>,
@@ -137,7 +238,8 @@ pub fn host_actor<T: Transport>(
     epoch: Instant,
     seed: u64,
     n_actors: usize,
-    stop: &AtomicBool,
+    ctl: &SessionControl,
+    watch: Option<&WatchFn>,
 ) -> HostReport {
     let mut wheel = TimerWheel::default();
     let mut rng = SimRng::new(seed).fork(0x4E45_5452_544D ^ u64::from(me.0));
@@ -154,8 +256,10 @@ pub fn host_actor<T: Transport>(
         };
         actor.on_start(&mut rt);
     }
-    while !stop.load(Ordering::Relaxed) {
+    let mut watching = watch.is_some();
+    while !ctl.should_stop() {
         let now = epoch.elapsed().as_nanos() as u64;
+        let mut saw_event = false;
         // Fire everything due.
         while let Some((tid, tag)) = wheel.pop_due(now) {
             let mut rt = NetRuntime {
@@ -168,6 +272,7 @@ pub fn host_actor<T: Transport>(
                 metrics: &mut metrics,
             };
             actor.on_timer(&mut rt, tid, tag);
+            saw_event = true;
         }
         let wait = wheel
             .next_deadline()
@@ -185,6 +290,15 @@ pub fn host_actor<T: Transport>(
                 metrics: &mut metrics,
             };
             actor.on_message(&mut rt, from, msg);
+            saw_event = true;
+        }
+        if watching && saw_event {
+            if let Some(w) = watch {
+                if w(actor.as_ref()) {
+                    ctl.signal_done();
+                    watching = false; // condition is sticky; stop probing
+                }
+            }
         }
     }
     HostReport { actor, metrics }

@@ -1,0 +1,638 @@
+//! Thin Linux syscall layer for the ready-queue runtime: epoll, eventfd,
+//! `recvmmsg`/`sendmmsg`, and socket-buffer control.
+//!
+//! The workspace vendors its few third-party APIs (see `crates/compat`),
+//! so there is no `libc` crate to lean on; this module declares exactly
+//! the handful of glibc entry points the live plane needs, with the
+//! x86-64 Linux struct layouts written out. Everything is wrapped in
+//! safe, narrow helpers — the rest of the crate never touches a raw fd
+//! except through [`Epoll`], [`EventFd`], [`BatchSocket`] and
+//! [`set_socket_bufs`].
+//!
+//! Portability: on non-Linux targets (and when `MSS_NO_MMSG=1`), the
+//! batched send/receive helpers degrade to one `send_to`/`recv_from`
+//! per datagram and the poll loop to a short blocking receive — slower,
+//! but behaviorally identical, so the verify gates run everywhere.
+
+#![allow(dead_code)]
+
+use std::io;
+use std::net::UdpSocket;
+
+/// Upper bound on datagrams moved per batched receive syscall.
+pub(crate) const RX_BATCH: usize = 32;
+/// Upper bound on datagrams moved per batched send syscall.
+pub(crate) const TX_BATCH: usize = 64;
+/// Receive scratch per datagram: the codec bounds frames at one UDP
+/// datagram (~64 KiB); coordination frames at n=10³ stay far below this.
+pub(crate) const RX_BUF: usize = 65_536;
+
+/// True when the batched `recvmmsg`/`sendmmsg` path is compiled in and
+/// not disabled via `MSS_NO_MMSG=1`.
+pub(crate) fn mmsg_enabled() -> bool {
+    if std::env::var_os("MSS_NO_MMSG").is_some_and(|v| v == "1") {
+        return false;
+    }
+    cfg!(target_os = "linux")
+}
+
+/// One received datagram: filled length and kernel-reported drop count
+/// (cumulative per socket, from `SO_RXQ_OVFL`; 0 when unsupported).
+pub(crate) struct RxMeta {
+    pub len: usize,
+    pub rxq_ovfl: u32,
+}
+
+#[cfg(target_os = "linux")]
+mod linux {
+    use super::*;
+    use std::os::fd::{AsRawFd, RawFd};
+
+    pub(crate) type CInt = i32;
+
+    #[repr(C)]
+    struct IoVec {
+        base: *mut u8,
+        len: usize,
+    }
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct SockAddrIn {
+        family: u16,
+        port_be: u16,
+        addr_be: u32,
+        zero: [u8; 8],
+    }
+
+    #[repr(C)]
+    struct MsgHdr {
+        name: *mut SockAddrIn,
+        namelen: u32,
+        iov: *mut IoVec,
+        iovlen: usize,
+        control: *mut u8,
+        controllen: usize,
+        flags: CInt,
+    }
+
+    #[repr(C)]
+    struct MMsgHdr {
+        hdr: MsgHdr,
+        len: u32,
+    }
+
+    /// x86-64 packs epoll_event; on other Linux arches the packed layout
+    /// is identical or padded compatibly for the fields we use.
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    #[repr(C)]
+    struct CMsgHdr {
+        len: usize,
+        level: CInt,
+        ty: CInt,
+    }
+
+    const EPOLLIN: u32 = 0x1;
+    const EPOLL_CTL_ADD: CInt = 1;
+    const EFD_NONBLOCK: CInt = 0x800;
+    const SOL_SOCKET: CInt = 1;
+    const SO_SNDBUF: CInt = 7;
+    const SO_RCVBUF: CInt = 8;
+    const SO_RXQ_OVFL: CInt = 40;
+    const MSG_DONTWAIT: CInt = 0x40;
+    const AF_INET: u16 = 2;
+    const CMSG_SPACE: usize = 32;
+
+    extern "C" {
+        fn epoll_create1(flags: CInt) -> CInt;
+        fn epoll_ctl(epfd: CInt, op: CInt, fd: CInt, event: *mut EpollEvent) -> CInt;
+        fn epoll_wait(epfd: CInt, events: *mut EpollEvent, maxevents: CInt, timeout: CInt) -> CInt;
+        fn eventfd(initval: u32, flags: CInt) -> CInt;
+        fn recvmmsg(fd: CInt, vec: *mut MMsgHdr, vlen: u32, flags: CInt, timeout: *mut u8) -> CInt;
+        fn sendmmsg(fd: CInt, vec: *mut MMsgHdr, vlen: u32, flags: CInt) -> CInt;
+        fn setsockopt(fd: CInt, level: CInt, name: CInt, val: *const u8, len: u32) -> CInt;
+        fn getsockopt(fd: CInt, level: CInt, name: CInt, val: *mut u8, len: *mut u32) -> CInt;
+        fn read(fd: CInt, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: CInt, buf: *const u8, count: usize) -> isize;
+        fn close(fd: CInt) -> CInt;
+    }
+
+    fn sockaddr_of(addr: std::net::SocketAddr) -> SockAddrIn {
+        let std::net::SocketAddr::V4(v4) = addr else {
+            // The live plane binds IPv4 loopback only.
+            panic!("live plane sockets are IPv4");
+        };
+        SockAddrIn {
+            family: AF_INET,
+            port_be: v4.port().to_be(),
+            addr_be: u32::from(*v4.ip()).to_be(),
+            zero: [0; 8],
+        }
+    }
+
+    /// Minimal epoll wrapper: register read-interest fds once, then wait.
+    pub(crate) struct Epoll {
+        fd: CInt,
+    }
+
+    impl Epoll {
+        pub(crate) fn new() -> io::Result<Epoll> {
+            let fd = unsafe { epoll_create1(0) };
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Epoll { fd })
+        }
+
+        /// Watch `fd` for readability, tagging events with `token`.
+        pub(crate) fn add(&self, fd: RawFd, token: u64) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: EPOLLIN,
+                data: token,
+            };
+            if unsafe { epoll_ctl(self.fd, EPOLL_CTL_ADD, fd, &mut ev) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        /// Wait up to `timeout_ms` (-1 = forever); returns ready tokens.
+        pub(crate) fn wait(&self, out: &mut Vec<u64>, timeout_ms: i32) -> io::Result<()> {
+            let mut evs = [EpollEvent { events: 0, data: 0 }; 16];
+            let n = unsafe { epoll_wait(self.fd, evs.as_mut_ptr(), evs.len() as CInt, timeout_ms) };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(e);
+            }
+            out.clear();
+            for ev in &evs[..n as usize] {
+                out.push(ev.data);
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Epoll {
+        fn drop(&mut self) {
+            unsafe { close(self.fd) };
+        }
+    }
+
+    /// Edge-level wakeup pipe for the poll loop (timer re-arm, shutdown).
+    pub(crate) struct EventFd {
+        fd: CInt,
+    }
+
+    impl EventFd {
+        pub(crate) fn new() -> io::Result<EventFd> {
+            let fd = unsafe { eventfd(0, EFD_NONBLOCK) };
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(EventFd { fd })
+        }
+
+        pub(crate) fn raw(&self) -> RawFd {
+            self.fd
+        }
+
+        /// Wake any poller blocked on this fd.
+        pub(crate) fn signal(&self) {
+            let one: u64 = 1;
+            unsafe { write(self.fd, (&one as *const u64).cast(), 8) };
+        }
+
+        /// Clear the pending wake count.
+        pub(crate) fn drain(&self) {
+            let mut v: u64 = 0;
+            unsafe { read(self.fd, (&mut v as *mut u64).cast(), 8) };
+        }
+    }
+
+    impl Drop for EventFd {
+        fn drop(&mut self) {
+            unsafe { close(self.fd) };
+        }
+    }
+
+    /// Set explicit kernel buffer sizes on a socket and report what the
+    /// kernel actually granted (it doubles the request and clamps to
+    /// `net.core.{r,w}mem_max`).
+    pub(crate) fn set_socket_bufs(
+        sock: &UdpSocket,
+        rcv: usize,
+        snd: usize,
+    ) -> io::Result<(usize, usize)> {
+        let fd = sock.as_raw_fd();
+        let set = |name: CInt, bytes: usize| unsafe {
+            let v = bytes as CInt;
+            setsockopt(fd, SOL_SOCKET, name, (&v as *const CInt).cast(), 4)
+        };
+        let get = |name: CInt| -> usize {
+            let mut v: CInt = 0;
+            let mut len: u32 = 4;
+            unsafe { getsockopt(fd, SOL_SOCKET, name, (&mut v as *mut CInt).cast(), &mut len) };
+            v.max(0) as usize
+        };
+        if set(SO_RCVBUF, rcv) < 0 || set(SO_SNDBUF, snd) < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok((get(SO_RCVBUF), get(SO_SNDBUF)))
+    }
+
+    /// Ask the kernel to attach its receive-queue overflow counter to
+    /// every datagram (surfaced per-datagram via a control message).
+    pub(crate) fn enable_rxq_ovfl(sock: &UdpSocket) -> bool {
+        let v: CInt = 1;
+        unsafe {
+            setsockopt(
+                sock.as_raw_fd(),
+                SOL_SOCKET,
+                SO_RXQ_OVFL,
+                (&v as *const CInt).cast(),
+                4,
+            ) >= 0
+        }
+    }
+
+    /// Batched datagram I/O over one socket. Owns the parallel syscall
+    /// arrays so per-flush setup is pointer fills, not allocation.
+    pub(crate) struct BatchSocket {
+        fd: CInt,
+        use_mmsg: bool,
+        // recvmmsg scratch (parallel arrays, rebuilt cheaply per call).
+        ctrl: Vec<[u8; CMSG_SPACE]>,
+        names: Vec<SockAddrIn>,
+    }
+
+    impl BatchSocket {
+        pub(crate) fn new(sock: &UdpSocket, use_mmsg: bool) -> BatchSocket {
+            BatchSocket {
+                fd: sock.as_raw_fd(),
+                use_mmsg,
+                ctrl: vec![[0u8; CMSG_SPACE]; RX_BATCH],
+                names: vec![
+                    SockAddrIn {
+                        family: 0,
+                        port_be: 0,
+                        addr_be: 0,
+                        zero: [0; 8],
+                    };
+                    RX_BATCH
+                ],
+            }
+        }
+
+        /// Receive up to `bufs.len()` datagrams without blocking; fills
+        /// `meta` (parallel to `bufs`) and returns the count. `Ok(0)`
+        /// means the socket had nothing pending.
+        pub(crate) fn recv_batch(
+            &mut self,
+            sock: &UdpSocket,
+            bufs: &mut [Vec<u8>],
+            meta: &mut [RxMeta],
+        ) -> io::Result<usize> {
+            if !self.use_mmsg {
+                return fallback_recv(sock, bufs, meta);
+            }
+            let vlen = bufs.len().min(RX_BATCH);
+            let mut iovs: Vec<IoVec> = bufs[..vlen]
+                .iter_mut()
+                .map(|b| IoVec {
+                    base: b.as_mut_ptr(),
+                    len: b.capacity(),
+                })
+                .collect();
+            let mut hdrs: Vec<MMsgHdr> = Vec::with_capacity(vlen);
+            for ((iov, name), ctrl) in iovs
+                .iter_mut()
+                .zip(self.names.iter_mut())
+                .zip(self.ctrl.iter_mut())
+                .take(vlen)
+            {
+                hdrs.push(MMsgHdr {
+                    hdr: MsgHdr {
+                        name,
+                        namelen: std::mem::size_of::<SockAddrIn>() as u32,
+                        iov,
+                        iovlen: 1,
+                        control: ctrl.as_mut_ptr(),
+                        controllen: CMSG_SPACE,
+                        flags: 0,
+                    },
+                    len: 0,
+                });
+            }
+            let n = unsafe {
+                recvmmsg(
+                    self.fd,
+                    hdrs.as_mut_ptr(),
+                    vlen as u32,
+                    MSG_DONTWAIT,
+                    std::ptr::null_mut(),
+                )
+            };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                return match e.kind() {
+                    io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted => Ok(0),
+                    _ => Err(e),
+                };
+            }
+            let n = n as usize;
+            for i in 0..n {
+                // SAFETY: the kernel wrote hdrs[i].len bytes into bufs[i],
+                // whose capacity we advertised in the iovec.
+                unsafe { bufs[i].set_len(hdrs[i].len as usize) };
+                meta[i] = RxMeta {
+                    len: hdrs[i].len as usize,
+                    rxq_ovfl: parse_rxq_ovfl(&self.ctrl[i], hdrs[i].hdr.controllen),
+                };
+            }
+            Ok(n)
+        }
+
+        /// Send every `(addr, frame)` pair, batched `TX_BATCH` at a time.
+        /// Returns datagrams handed to the kernel and syscalls used.
+        pub(crate) fn send_batch(
+            &mut self,
+            sock: &UdpSocket,
+            out: &[(std::net::SocketAddr, &[u8])],
+        ) -> io::Result<(usize, usize)> {
+            if !self.use_mmsg {
+                return fallback_send(sock, out);
+            }
+            let mut sent = 0usize;
+            let mut calls = 0usize;
+            for chunk in out.chunks(TX_BATCH) {
+                let mut names: Vec<SockAddrIn> =
+                    chunk.iter().map(|(a, _)| sockaddr_of(*a)).collect();
+                let mut iovs: Vec<IoVec> = chunk
+                    .iter()
+                    .map(|(_, b)| IoVec {
+                        base: b.as_ptr() as *mut u8,
+                        len: b.len(),
+                    })
+                    .collect();
+                let mut hdrs: Vec<MMsgHdr> = Vec::with_capacity(chunk.len());
+                for i in 0..chunk.len() {
+                    hdrs.push(MMsgHdr {
+                        hdr: MsgHdr {
+                            name: &mut names[i],
+                            namelen: std::mem::size_of::<SockAddrIn>() as u32,
+                            iov: &mut iovs[i],
+                            iovlen: 1,
+                            control: std::ptr::null_mut(),
+                            controllen: 0,
+                            flags: 0,
+                        },
+                        len: 0,
+                    });
+                }
+                // The tx socket is blocking: a full send buffer throttles
+                // the worker (backpressure) instead of dropping.
+                let mut done = 0usize;
+                while done < chunk.len() {
+                    let n = unsafe {
+                        sendmmsg(
+                            self.fd,
+                            hdrs[done..].as_mut_ptr(),
+                            (chunk.len() - done) as u32,
+                            0,
+                        )
+                    };
+                    calls += 1;
+                    if n < 0 {
+                        let e = io::Error::last_os_error();
+                        if e.kind() == io::ErrorKind::Interrupted {
+                            continue;
+                        }
+                        return Err(e);
+                    }
+                    if n == 0 {
+                        break;
+                    }
+                    done += n as usize;
+                }
+                sent += done;
+            }
+            Ok((sent, calls))
+        }
+    }
+
+    /// Walk the control buffer for the `SO_RXQ_OVFL` drop counter.
+    fn parse_rxq_ovfl(ctrl: &[u8; CMSG_SPACE], controllen: usize) -> u32 {
+        let hdr_len = std::mem::size_of::<CMsgHdr>();
+        if controllen < hdr_len + 4 {
+            return 0;
+        }
+        // SAFETY: the kernel wrote a well-formed cmsg into this buffer;
+        // we only read the fixed header plus 4 payload bytes, both
+        // bounds-checked against controllen above.
+        let hdr = unsafe { &*(ctrl.as_ptr() as *const CMsgHdr) };
+        if hdr.level == SOL_SOCKET && hdr.ty == SO_RXQ_OVFL && hdr.len >= hdr_len + 4 {
+            let mut v = [0u8; 4];
+            v.copy_from_slice(&ctrl[hdr_len..hdr_len + 4]);
+            return u32::from_ne_bytes(v);
+        }
+        0
+    }
+}
+
+#[cfg(target_os = "linux")]
+pub(crate) use linux::{enable_rxq_ovfl, set_socket_bufs, BatchSocket, Epoll, EventFd};
+
+/// One `recv_from` per datagram: the portable path, also used when
+/// `MSS_NO_MMSG=1` forces the gates to exercise the fallback.
+fn fallback_recv(sock: &UdpSocket, bufs: &mut [Vec<u8>], meta: &mut [RxMeta]) -> io::Result<usize> {
+    let mut n = 0;
+    while n < bufs.len() {
+        let cap = bufs[n].capacity();
+        // SAFETY: recv_from writes at most `cap` bytes; set_len follows
+        // only with the kernel-reported length.
+        unsafe { bufs[n].set_len(cap) };
+        match sock.recv_from(&mut bufs[n]) {
+            Ok((len, _)) => {
+                unsafe { bufs[n].set_len(len) };
+                meta[n] = RxMeta { len, rxq_ovfl: 0 };
+                n += 1;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => {
+                if n == 0 {
+                    return Err(e);
+                }
+                break;
+            }
+        }
+    }
+    Ok(n)
+}
+
+/// One `send_to` per datagram (portable / forced-fallback path).
+fn fallback_send(
+    sock: &UdpSocket,
+    out: &[(std::net::SocketAddr, &[u8])],
+) -> io::Result<(usize, usize)> {
+    let mut sent = 0;
+    for (addr, frame) in out {
+        if sock.send_to(frame, addr).is_ok() {
+            sent += 1;
+        }
+    }
+    Ok((sent, out.len().max(1)))
+}
+
+#[cfg(not(target_os = "linux"))]
+mod portable {
+    use super::*;
+
+    /// Portable stand-ins keeping the same surface as the Linux layer.
+    pub(crate) struct Epoll;
+
+    impl Epoll {
+        pub(crate) fn new() -> io::Result<Epoll> {
+            Ok(Epoll)
+        }
+        pub(crate) fn add(&self, _fd: i32, _token: u64) -> io::Result<()> {
+            Ok(())
+        }
+        /// Without epoll the poll loop sleeps briefly and polls every
+        /// socket; `wait` reports every token as potentially ready.
+        pub(crate) fn wait(&self, out: &mut Vec<u64>, timeout_ms: i32) -> io::Result<()> {
+            std::thread::sleep(std::time::Duration::from_millis(
+                timeout_ms.clamp(0, 2) as u64
+            ));
+            out.clear();
+            for t in 0..u64::from(u16::MAX) {
+                out.push(t);
+                if out.len() >= 16 {
+                    break;
+                }
+            }
+            Ok(())
+        }
+    }
+
+    pub(crate) struct EventFd;
+
+    impl EventFd {
+        pub(crate) fn new() -> io::Result<EventFd> {
+            Ok(EventFd)
+        }
+        pub(crate) fn raw(&self) -> i32 {
+            -1
+        }
+        pub(crate) fn signal(&self) {}
+        pub(crate) fn drain(&self) {}
+    }
+
+    pub(crate) fn set_socket_bufs(
+        _sock: &UdpSocket,
+        rcv: usize,
+        snd: usize,
+    ) -> io::Result<(usize, usize)> {
+        Ok((rcv, snd))
+    }
+
+    pub(crate) fn enable_rxq_ovfl(_sock: &UdpSocket) -> bool {
+        false
+    }
+
+    pub(crate) struct BatchSocket;
+
+    impl BatchSocket {
+        pub(crate) fn new(_sock: &UdpSocket, _use_mmsg: bool) -> BatchSocket {
+            BatchSocket
+        }
+        pub(crate) fn recv_batch(
+            &mut self,
+            sock: &UdpSocket,
+            bufs: &mut [Vec<u8>],
+            meta: &mut [RxMeta],
+        ) -> io::Result<usize> {
+            fallback_recv(sock, bufs, meta)
+        }
+        pub(crate) fn send_batch(
+            &mut self,
+            sock: &UdpSocket,
+            out: &[(std::net::SocketAddr, &[u8])],
+        ) -> io::Result<(usize, usize)> {
+            fallback_send(sock, out)
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+pub(crate) use portable::{enable_rxq_ovfl, set_socket_bufs, BatchSocket, Epoll, EventFd};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn socket_bufs_are_set_and_reported() {
+        let s = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let (r, w) = set_socket_bufs(&s, 262_144, 262_144).unwrap();
+        // Linux reports back 2x the request (bookkeeping overhead) and
+        // never less than the minimum; either way it must be nonzero.
+        assert!(r >= 262_144, "rcvbuf {r}");
+        assert!(w >= 262_144, "sndbuf {w}");
+    }
+
+    #[test]
+    fn batch_roundtrip_loopback() {
+        let rx = UdpSocket::bind("127.0.0.1:0").unwrap();
+        rx.set_nonblocking(true).unwrap();
+        let tx = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let dst = rx.local_addr().unwrap();
+        let mut btx = BatchSocket::new(&tx, mmsg_enabled());
+        let frames: Vec<Vec<u8>> = (0u8..10).map(|i| vec![i; 32 + i as usize]).collect();
+        let out: Vec<(std::net::SocketAddr, &[u8])> =
+            frames.iter().map(|f| (dst, f.as_slice())).collect();
+        let (sent, calls) = btx.send_batch(&tx, &out).unwrap();
+        assert_eq!(sent, 10);
+        assert!(calls >= 1);
+
+        let mut brx = BatchSocket::new(&rx, mmsg_enabled());
+        let mut bufs: Vec<Vec<u8>> = (0..RX_BATCH).map(|_| Vec::with_capacity(2048)).collect();
+        let mut meta: Vec<RxMeta> = (0..RX_BATCH)
+            .map(|_| RxMeta {
+                len: 0,
+                rxq_ovfl: 0,
+            })
+            .collect();
+        let mut got = 0;
+        for _ in 0..200 {
+            let n = brx.recv_batch(&rx, &mut bufs, &mut meta).unwrap();
+            for i in 0..n {
+                assert_eq!(bufs[i].len(), meta[i].len);
+                assert!(!bufs[i].is_empty());
+            }
+            got += n;
+            if got >= 10 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(got, 10, "all batched datagrams must arrive");
+    }
+
+    #[test]
+    fn eventfd_signals_and_drains() {
+        let e = EventFd::new().unwrap();
+        e.signal();
+        e.signal();
+        e.drain();
+    }
+}

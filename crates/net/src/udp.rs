@@ -7,7 +7,6 @@
 //! leaf-schedule baseline grow with content length).
 
 use std::net::{SocketAddr, UdpSocket};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -19,11 +18,18 @@ use mss_overlay::{Directory, PeerId};
 use mss_sim::event::ActorId;
 use mss_sim::metrics::Metrics;
 
-use crate::bus::ThreadedOutcome;
+use crate::bus::{ThreadedOutcome, SETTLE};
 use crate::codec::{decode, encode_into};
-use crate::runtime::{host_actor, Transport};
+use crate::runtime::{await_session, host_actor, SessionControl, Transport};
+use crate::sys;
 use bytes::BytesMut;
 use mss_sim::pool::BufPool;
+
+/// Explicit kernel buffer sizes for thread-per-peer sockets. Small
+/// per-socket buffers (there are n+1 sockets); the ready-queue runtime
+/// in [`crate::live`] sizes its few shared sockets much larger.
+const PEER_RCVBUF: usize = 256 * 1024;
+const PEER_SNDBUF: usize = 128 * 1024;
 
 /// UDP endpoint for one actor.
 pub struct UdpTransport {
@@ -86,9 +92,15 @@ pub fn run_udp_session(
     }
     let n = cfg.n;
     let total = n + 1;
-    // Bind ephemeral ports first, then share the address book.
+    // Bind ephemeral ports first, then share the address book. Kernel
+    // buffers are sized explicitly — the default rcvbuf silently drops
+    // bursts at high fan-out (see `crate::live` for the drop metric).
     let sockets: Vec<UdpSocket> = (0..total)
-        .map(|_| UdpSocket::bind("127.0.0.1:0"))
+        .map(|_| {
+            let s = UdpSocket::bind("127.0.0.1:0")?;
+            sys::set_socket_bufs(&s, PEER_RCVBUF, PEER_SNDBUF)?;
+            Ok(s)
+        })
         .collect::<std::io::Result<_>>()?;
     let addrs: Arc<Vec<SocketAddr>> = Arc::new(
         sockets
@@ -97,7 +109,7 @@ pub fn run_udp_session(
             .collect::<std::io::Result<_>>()?,
     );
     let dir = Directory::new((0..n as u32).map(ActorId).collect(), ActorId(n as u32));
-    let stop = Arc::new(AtomicBool::new(false));
+    let ctl = Arc::new(SessionControl::new());
     let epoch = Instant::now();
 
     let mut handles = Vec::with_capacity(total);
@@ -106,18 +118,23 @@ pub fn run_udp_session(
         let me = ActorId(i as u32);
         let actor = make_peer(protocol, PeerId(i as u32), dir.clone(), cfg.clone());
         let transport = UdpTransport::new(me, sockets.next().expect("socket"), Arc::clone(&addrs));
-        let stop = Arc::clone(&stop);
+        let ctl = Arc::clone(&ctl);
         let seed = cfg.seed;
         handles.push(std::thread::spawn(move || {
-            host_actor(me, actor, transport, epoch, seed, total, &stop)
+            host_actor(me, actor, transport, epoch, seed, total, &ctl, None)
         }));
     }
     let leaf_id = ActorId(n as u32);
     let leaf = Box::new(LeafActor::new(cfg.clone(), protocol, dir, None));
     let leaf_transport = UdpTransport::new(leaf_id, sockets.next().expect("socket"), addrs);
-    let leaf_stop = Arc::clone(&stop);
+    let leaf_ctl = Arc::clone(&ctl);
     let seed = cfg.seed;
     let leaf_handle = std::thread::spawn(move || {
+        let watch = |a: &dyn mss_sim::world::Actor<Msg>| {
+            a.as_any()
+                .downcast_ref::<LeafActor>()
+                .is_some_and(LeafActor::is_complete)
+        };
         host_actor(
             leaf_id,
             leaf,
@@ -125,12 +142,14 @@ pub fn run_udp_session(
             epoch,
             seed,
             total,
-            &leaf_stop,
+            &leaf_ctl,
+            Some(&watch),
         )
     });
 
-    std::thread::sleep(wall_timeout);
-    stop.store(true, Ordering::Relaxed);
+    // Return as soon as the leaf completes (plus settle); the wall
+    // timeout only bounds sessions that never finish.
+    let time_to_done = await_session(&ctl, wall_timeout, SETTLE);
 
     let mut metrics = Metrics::new();
     let mut reports = Vec::with_capacity(n);
@@ -154,6 +173,7 @@ pub fn run_udp_session(
         coord_msgs: metrics.counter(mss_core::metrics::COORD_MSGS),
         reports,
         metrics,
+        time_to_done,
     })
 }
 

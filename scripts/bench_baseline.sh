@@ -136,8 +136,51 @@ cat "$out"
 # with MSS_SKIP_SCALING=1 when only the kernel microbenches matter, or
 # MSS_SCALING_FULL=0 to keep the sweep but stop at n=10^4 (slow boxes:
 # the single-shard TCoP baseline at 10^5 runs tens of minutes).
+record_live_scale() {
+    # Live network plane: the ready-queue runtime vs one thread per
+    # peer, real loopback UDP up to n=2·10^3, appended to the history
+    # as its own line (events/sec per runtime plus the interleaved-
+    # minima speedup). Works without sendmmsg/recvmmsg too — the
+    # runtime falls back to single-syscall I/O when the batched calls
+    # are unavailable (or when MSS_NO_MMSG=1 forces the fallback), so
+    # this entry records numbers on every kernel. Opt out with
+    # MSS_SKIP_LIVE=1.
+    if [ "${MSS_SKIP_LIVE:-0}" = "1" ]; then
+        echo "bench_baseline.sh: live-plane sweep skipped (MSS_SKIP_LIVE=1)"
+        return 0
+    fi
+    if ! cargo run --release -q -p mss-harness -- live_scale; then
+        echo "bench_baseline.sh: live-plane sweep failed" >&2
+        exit 1
+    fi
+    local points="results/live_scale_1.csv" ab="results/live_scale_2.csv"
+    if [ ! -s "$points" ] || [ ! -s "$ab" ]; then
+        echo "bench_baseline.sh: live-plane sweep wrote no CSVs" >&2
+        exit 1
+    fi
+    {
+        printf '{"commit": "%s", "recorded": "%s", "bench": "live_scale", "mmsg": %s, "events_per_sec": {' \
+            "$commit" "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+            "$([ "${MSS_NO_MMSG:-0}" = "1" ] && echo false || echo true)"
+        # runtime,protocol,n,wall_s,done_s,msgs,events_per_sec,...
+        awk -F, 'NR > 1 {
+            key = sprintf("%s/%s/n%s", $1, $2, $3)
+            printf "%s\"%s\": %.0f", (n++ ? ", " : ""), key, $7
+        }' "$points"
+        printf '}, "speedup_vs_threads": {'
+        # protocol,n,ready_eps,threads_eps,speedup,...
+        awk -F, 'NR > 1 {
+            key = sprintf("%s/n%s", $1, $2)
+            printf "%s\"%s\": %.2f", (n++ ? ", " : ""), key, $5
+        }' "$ab"
+        printf '}}\n'
+    } >>"$history"
+    echo "bench_baseline.sh: live-plane sweep appended to $history"
+}
+
 if [ "${MSS_SKIP_SCALING:-0}" = "1" ]; then
     echo "bench_baseline.sh: scaling sweep skipped (MSS_SKIP_SCALING=1)"
+    record_live_scale
     exit 0
 fi
 scaling_args=(scaling)
@@ -164,3 +207,5 @@ fi
     printf '}}\n'
 } >>"$history"
 echo "bench_baseline.sh: scaling sweep appended to $history"
+
+record_live_scale

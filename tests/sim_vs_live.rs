@@ -1,7 +1,9 @@
 //! Simulator vs live runtimes: the identical protocol state machines run
 //! on (a) the deterministic discrete-event simulator, (b) OS threads with
-//! channels, and (c) UDP loopback sockets — and agree on the protocol's
-//! observable outcomes (coverage, completion, coordination volume class).
+//! channels, (c) UDP loopback sockets with one thread per peer, and
+//! (d) the ready-queue runtime (shared sockets, `recvmmsg`/`sendmmsg`
+//! batching) — and agree on the protocol's observable outcomes
+//! (coverage, completion, coordination volume class).
 
 use std::time::Duration;
 
@@ -9,6 +11,7 @@ use mss::core::prelude::*;
 use mss::core::session::Session;
 use mss::net::bus::ThreadedSession;
 use mss::net::udp::run_udp_session;
+use mss::net::LiveSession;
 
 fn shared_cfg() -> SessionConfig {
     let mut cfg = SessionConfig::small(8, 3, 1234);
@@ -57,6 +60,56 @@ fn tcop_agrees_across_substrates() {
     assert_eq!(threaded.activated, 8);
     assert!(sim.complete);
     assert!(threaded.complete, "threaded missing {}", threaded.missing);
+}
+
+/// Shared config for the at-scale pinning: n in the hundreds on the
+/// ready-queue runtime vs the same config on the simulator. Uses the
+/// `live` preset (quadratic extensions off, repair on) for both sides
+/// so the comparison is apples to apples.
+fn scale_cfg(protocol_seed: u64) -> SessionConfig {
+    let mut cfg = SessionConfig::live(200, 8, protocol_seed);
+    cfg.content = ContentDesc::small(31, 100);
+    cfg
+}
+
+/// Pin the ready-queue runtime against the simulator at n=200: full
+/// activation, complete streaming, and coordination volume in the same
+/// class, for both coordination protocols.
+#[test]
+fn ready_queue_runtime_matches_simulator_at_scale() {
+    for (protocol, seed) in [(Protocol::Dcop, 4242u64), (Protocol::Tcop, 4243u64)] {
+        let sim = Session::new(scale_cfg(seed), protocol)
+            .time_limit(SimDuration::from_secs(120))
+            .run();
+        let live = LiveSession::new(scale_cfg(seed), protocol, Duration::from_secs(20))
+            .run()
+            .expect("live session");
+
+        assert_eq!(sim.activated, 200, "{protocol:?} sim activation");
+        assert_eq!(
+            live.activated,
+            200,
+            "{protocol:?} live activation (reports: {})",
+            live.reports.len()
+        );
+        assert!(sim.complete, "{protocol:?} sim completion");
+        assert!(
+            live.complete,
+            "{protocol:?} live leaf missing {} packets (rx_dropped {})",
+            live.missing,
+            live.metrics.counter("net.rx_dropped")
+        );
+        assert!(
+            live.coord_msgs >= sim.coord_msgs_total / 4
+                && live.coord_msgs <= sim.coord_msgs_total * 4,
+            "{protocol:?} live coordination volume {} vs simulator {}",
+            live.coord_msgs,
+            sim.coord_msgs_total
+        );
+        // The batched syscall plane must actually be exercised.
+        assert!(live.metrics.counter("net.rx_batches") > 0);
+        assert!(live.metrics.counter("net.tx_datagrams") > 0);
+    }
 }
 
 #[test]
