@@ -1,0 +1,128 @@
+//! View-codec micro-benchmarks: encode/decode throughput of the
+//! adaptive view wire format across its three representations (sparse
+//! varint list, run-length ranges, dense bitmap) and the delta frames,
+//! at populations 10³ / 10⁴ / 10⁵.
+//!
+//! Throughput is reported in encoded bytes per second, so the numbers
+//! compare directly against the control-plane byte curves in
+//! EXPERIMENTS.md: a live session spends `bytes_tx / (MiB/s here)`
+//! seconds of CPU in the view codec.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bytes::BytesMut;
+use mss_overlay::wire::{
+    apply_delta, decode_view, delta_encoded_len, encode_delta, encode_view, encoded_len,
+};
+use mss_overlay::{PeerId, View};
+use mss_sim::rng::SimRng;
+
+/// A view engineered to land in one representation at population `n`.
+fn shaped(shape: &str, n: usize, rng: &mut SimRng) -> View {
+    let mut v = View::empty(n);
+    match shape {
+        // Scattered early membership — what wave-0/1 views look like.
+        "sparse" => {
+            for _ in 0..n / 64 {
+                v.insert(PeerId(rng.gen_below(n as u64) as u32));
+            }
+        }
+        // Contiguous activation bands — mid-session flood frontiers.
+        "runs" => {
+            let mut at = 0u32;
+            while (at as usize) < n {
+                let len = 16 + rng.gen_below(48) as u32;
+                for id in at..(at + len).min(n as u32) {
+                    v.insert(PeerId(id));
+                }
+                at += len + 8 + rng.gen_below(64) as u32;
+            }
+        }
+        // Near-total membership — late-session views.
+        "dense" => {
+            for id in 0..n as u32 {
+                if rng.gen_below(16) != 0 {
+                    v.insert(PeerId(id));
+                }
+            }
+        }
+        other => panic!("unknown shape {other:?}"),
+    }
+    v
+}
+
+fn bench_view_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("view_codec");
+    for n in [1_000usize, 10_000, 100_000] {
+        for shape in ["sparse", "runs", "dense"] {
+            let mut rng = SimRng::new(7).fork(n as u64);
+            let v = shaped(shape, n, &mut rng);
+            let bytes = encoded_len(&v);
+            let mut frame = BytesMut::with_capacity(bytes);
+            encode_view(&v, &mut frame);
+
+            g.throughput(Throughput::Bytes(bytes as u64));
+            g.bench_with_input(
+                BenchmarkId::new(format!("encode_{shape}"), n),
+                &n,
+                |b, _| {
+                    let mut out = BytesMut::with_capacity(bytes);
+                    b.iter(|| {
+                        out.clear();
+                        encode_view(&v, &mut out);
+                        out.len()
+                    });
+                },
+            );
+            g.bench_with_input(
+                BenchmarkId::new(format!("decode_{shape}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| decode_view(&frame, n).expect("well-formed").1);
+                },
+            );
+        }
+
+        // Delta frames: a base view plus the additions of one commit
+        // round (~fanout² new ids), the common TCoP piggyback.
+        let mut rng = SimRng::new(9).fork(n as u64);
+        let base = shaped("sparse", n, &mut rng);
+        let additions: Vec<u32> = {
+            let mut ids = Vec::new();
+            while ids.len() < 64 {
+                let id = rng.gen_below(n as u64) as u32;
+                if !base.contains(PeerId(id)) && !ids.contains(&id) {
+                    ids.push(id);
+                }
+            }
+            ids.sort_unstable();
+            ids
+        };
+        let dbytes = delta_encoded_len(n, base.count(), &additions);
+        let mut dframe = BytesMut::with_capacity(dbytes);
+        encode_delta(n, base.count(), &additions, &mut dframe);
+
+        g.throughput(Throughput::Bytes(dbytes as u64));
+        g.bench_with_input(BenchmarkId::new("encode_delta", n), &n, |b, _| {
+            let mut out = BytesMut::with_capacity(dbytes);
+            b.iter(|| {
+                out.clear();
+                encode_delta(n, base.count(), &additions, &mut out);
+                out.len()
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("decode_delta", n), &n, |b, _| {
+            b.iter(|| decode_view(&dframe, n).expect("well-formed").1);
+        });
+        // The receiver-side cost of upgrading a delta back to the full
+        // view (reassembler hot path): throughput in base members.
+        g.throughput(Throughput::Elements(base.count() as u64));
+        g.bench_with_input(BenchmarkId::new("apply_delta", n), &n, |b, _| {
+            b.iter(|| apply_delta(&base, &additions).count());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_view_codec);
+criterion_main!(benches);

@@ -80,6 +80,8 @@ impl BroadcastPeer {
                 h: req.h,
                 fanout: req.fanout,
                 basis: None,
+                // Each peer announces to every other peer exactly once.
+                view_wire: crate::msg::ViewWire::full(),
             };
             let to = self.core.dir.actor_of(peer);
             self.core.send_coord(ctx, to, Msg::Control(msg));

@@ -270,9 +270,14 @@ impl SessionConfig {
     ///   (counted by `net.rx_dropped`) and repair closes the stream
     ///   despite it, exactly as over lossy links.
     ///
-    /// Note the full-view piggyback bounds a live session around
-    /// n ≈ 4·10³ today: a view bit-vector rides in every request and
-    /// control packet, and a UDP datagram caps the frame at ~64 KiB.
+    /// Frame-size note: a UDP datagram caps a frame at ~64 KiB. The
+    /// old fixed bit-vector piggyback (n/8 bytes in every request and
+    /// control packet) bounded live sessions around n ≈ 4·10³. The
+    /// adaptive codec removed that wall: a view frame costs at most
+    /// `min(members·varint, runs·2·varint, n/8) + 6` bytes and commit
+    /// rounds ship deltas, so the worst case is the dense bitmap at
+    /// n/8 — live n = 10⁴ peaks near 1.25 KiB per view and stays
+    /// datagram-safe up to n ≈ 5·10⁵.
     pub fn live(n: usize, fanout: usize, seed: u64) -> SessionConfig {
         SessionConfig {
             reply_timeout: SimDuration::from_millis(250),

@@ -159,6 +159,9 @@ impl DcopPeer {
                 h: h as u32,
                 fanout: fanout as u32,
                 basis: Some(basis.clone()),
+                // DCoP activates an edge exactly once — every contact
+                // is first contact, so the view always travels in full.
+                view_wire: crate::msg::ViewWire::full(),
             };
             let to = self.core.dir.actor_of(*child);
             shared.outbox.push((to, Msg::Control(packet)));

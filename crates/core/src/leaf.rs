@@ -143,9 +143,13 @@ impl LeafActor {
     }
 
     fn send_coord(&mut self, ctx: &mut dyn Runtime<Msg>, to: mss_sim::event::ActorId, msg: Msg) {
-        ctx.metrics().incr_id(mnames::coord_msgs_id());
-        ctx.metrics()
-            .add_id(mnames::coord_bytes_id(), msg.wire_size() as u64);
+        let m = ctx.metrics();
+        m.incr_id(mnames::coord_msgs_id());
+        m.add_id(mnames::coord_bytes_id(), msg.model_size() as u64);
+        let tx = msg.wire_size() as u64;
+        m.add_id(mnames::coord_bytes_tx_id(), tx);
+        m.add_id(mnames::coord_bytes_tx_kind_id(&msg), tx);
+        m.add_id(mnames::coord_bytes_full_id(), msg.full_wire_size() as u64);
         ctx.send(to, msg);
     }
 

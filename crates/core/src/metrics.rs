@@ -10,8 +10,20 @@ use crate::config::Protocol;
 /// Every coordination message sent (requests, controls, probes, replies,
 /// commits) — the quantity on Figures 10/11's dotted lines.
 pub const COORD_MSGS: &str = "coord.msgs";
-/// Bytes of coordination messages.
+/// Bytes of coordination messages under the *paper model* (fixed
+/// `n/8`-byte view bitmaps, field-count estimates — `Msg::model_size`).
+/// Kept as the historical accounting so the Figure 10/11 series stay
+/// comparable across revisions; [`COORD_BYTES_TX`] carries the bytes a
+/// codec actually puts on the wire.
 pub const COORD_BYTES: &str = "coord.bytes";
+/// Bytes of coordination traffic as actually transmitted: exact codec
+/// frame lengths with adaptive view encodings and delta piggybacks
+/// (`Msg::wire_size`).
+pub const COORD_BYTES_TX: &str = "coord.bytes_tx";
+/// [`COORD_BYTES_TX`] with every delta piggyback priced as the full
+/// adaptively-encoded view (`Msg::full_wire_size`) — the "sparse, no
+/// deltas" point on the control-byte comparison curve.
+pub const COORD_BYTES_FULL: &str = "coord.bytes_full";
 /// Snapshot of [`COORD_MSGS`] taken at each first-activation; its final
 /// value is the message count *until all peers started transmitting*.
 pub const COORD_MSGS_AT_ACTIVATION: &str = "coord.msgs_at_activation";
@@ -52,6 +64,63 @@ pub fn coord_bytes_id() -> MetricId {
     *ID.get_or_init(|| mss_sim::metrics::register(COORD_BYTES))
 }
 
+/// Interned slot id for [`COORD_BYTES_TX`].
+pub fn coord_bytes_tx_id() -> MetricId {
+    static ID: OnceLock<MetricId> = OnceLock::new();
+    *ID.get_or_init(|| mss_sim::metrics::register(COORD_BYTES_TX))
+}
+
+/// Interned slot id for [`COORD_BYTES_FULL`].
+pub fn coord_bytes_full_id() -> MetricId {
+    static ID: OnceLock<MetricId> = OnceLock::new();
+    *ID.get_or_init(|| mss_sim::metrics::register(COORD_BYTES_FULL))
+}
+
+/// Per-kind breakdown of [`COORD_BYTES_TX`]: which message kinds carry
+/// the control bytes. Indexed by [`coord_kind_index`].
+pub const COORD_BYTES_TX_KINDS: [&str; 9] = [
+    "coord.bytes_tx.request",
+    "coord.bytes_tx.activate",
+    "coord.bytes_tx.probe",
+    "coord.bytes_tx.commit",
+    "coord.bytes_tx.announce",
+    "coord.bytes_tx.reply",
+    "coord.bytes_tx.twophase",
+    "coord.bytes_tx.assign",
+    "coord.bytes_tx.nack",
+];
+
+/// Index of a coordination message into [`COORD_BYTES_TX_KINDS`].
+///
+/// # Panics
+///
+/// On [`crate::msg::Msg::Data`] — data packets are not coordination
+/// traffic and never reach the coordination send paths.
+pub fn coord_kind_index(msg: &crate::msg::Msg) -> usize {
+    use crate::msg::{ControlKind, Msg};
+    match msg {
+        Msg::Request(_) => 0,
+        Msg::Control(c) => match c.kind {
+            ControlKind::Activate => 1,
+            ControlKind::Probe => 2,
+            ControlKind::Commit => 3,
+            ControlKind::Announce => 4,
+        },
+        Msg::Reply(_) => 5,
+        Msg::TwoPhase(_) => 6,
+        Msg::Assign(_) => 7,
+        Msg::Nack(_) => 8,
+        Msg::Data(_) => unreachable!("data packets are not coordination traffic"),
+    }
+}
+
+/// Interned slot id for a coordination message's per-kind byte counter.
+pub fn coord_bytes_tx_kind_id(msg: &crate::msg::Msg) -> MetricId {
+    static IDS: OnceLock<[MetricId; 9]> = OnceLock::new();
+    let ids = IDS.get_or_init(|| COORD_BYTES_TX_KINDS.map(mss_sim::metrics::register));
+    ids[coord_kind_index(msg)]
+}
+
 /// Interned slot id for [`DATA_MSGS`] (bumped on every data-packet
 /// transmission).
 pub fn data_msgs_id() -> MetricId {
@@ -82,8 +151,15 @@ pub struct SessionOutcome {
     /// Coordination messages over the whole run (incl. post-activation
     /// probing/flooding).
     pub coord_msgs_total: u64,
-    /// Bytes of coordination traffic over the whole run.
+    /// Bytes of coordination traffic over the whole run, under the
+    /// paper model ([`COORD_BYTES`]; feeds the Figure 10/11 series).
     pub coord_bytes: u64,
+    /// Coordination bytes actually transmitted: exact codec frames with
+    /// adaptive views and delta piggybacks ([`COORD_BYTES_TX`]).
+    pub coord_bytes_tx: u64,
+    /// [`coord_bytes_tx`](Self::coord_bytes_tx) with deltas priced as
+    /// full adaptive view frames ([`COORD_BYTES_FULL`]).
+    pub coord_bytes_full: u64,
     /// Contents peers that activated (coverage; should equal `n`).
     pub activated: u64,
     /// Nanoseconds from session start to the last activation.
@@ -139,6 +215,8 @@ mod tests {
             coord_msgs_until_active: 500,
             coord_msgs_total: 700,
             coord_bytes: 10_000,
+            coord_bytes_tx: 8_000,
+            coord_bytes_full: 9_000,
             activated: 100,
             sync_nanos: 1,
             receipt_rate_analytic: 1.0,

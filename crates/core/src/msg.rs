@@ -1,17 +1,26 @@
 //! The messages exchanged in a streaming session.
 //!
-//! Wire sizes model the paper's formats: coordination messages carry a
-//! view bit-vector (`n/8` bytes), a schedule *recipe* (the deterministic
-//! derivation — marked position, division arity, part index — not the
-//! packet list itself; a fixed-size handful of integers), rates and
-//! counters. The in-memory structs additionally carry the materialized
-//! [`PacketSeq`] for implementation convenience; a production codec would
-//! re-derive it from the recipe, so it does not count toward wire size.
+//! [`Msg::wire_size`] (the [`SimMessage`] accounting the simulator's
+//! links and the byte metrics consume) mirrors the `mss-net` codec's
+//! actual encoded frame length field for field — including the adaptive
+//! view frames and delta piggybacks of [`mss_overlay::wire`] — with two
+//! documented exceptions: the schedule travels as a fixed-size *recipe*
+//! ([`SCHED_RECIPE_BYTES`]; the demo codec materializes it, a production
+//! codec would not), and data packets defer to the media layer's own
+//! packet cost model. The codec-mirror tests in `mss-net` pin the mirror
+//! against real `encode()` lengths.
+//!
+//! Two companion accountings support the control-byte comparison curve:
+//! [`Msg::full_wire_size`] prices delta piggybacks as if the full view
+//! had been sent (adaptive encoding, no deltas), and
+//! [`Msg::model_size`] reproduces the seed's fixed `n/8`-bit-bitmap
+//! paper model — the historical `coord.bytes` accounting Figures 10/11
+//! keep for continuity.
 
 use std::sync::Arc;
 
-use mss_media::{Packet, PacketSeq, SeqView};
-use mss_overlay::{PeerId, View};
+use mss_media::{Packet, PacketId, PacketSeq, SeqView};
+use mss_overlay::{wire, PeerId, View};
 use mss_sim::world::SimMessage;
 
 /// The leaf's content request (`c` in §3.4 step 1).
@@ -54,6 +63,47 @@ pub enum ControlKind {
     /// Broadcast baseline: "I am active" state exchange (the simple group
     /// communication of §3.1's first way).
     Announce,
+}
+
+/// How a control packet's view travels on the wire.
+///
+/// The in-memory [`ControlPacket::view`] is always the complete
+/// piggyback set — every handler, simulated or live, sees the same full
+/// view. `ViewWire` only selects the *encoding*: a first contact ships
+/// the full (adaptively encoded) set under a fresh per-edge epoch; a
+/// follow-up on a tracked edge (TCoP's probe → commit) ships only the
+/// ids the view gained since the epoch-stamped snapshot. Receivers that
+/// hold the matching snapshot reconstruct the full view exactly; on an
+/// epoch or size mismatch (a lost full frame) they fall back to the
+/// additions alone — safe, because views are grow-only and every id in
+/// a delta is genuinely in the sender's view, so a mismatch only
+/// under-informs until the sender's next full frame resyncs the edge.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ViewWire {
+    /// Ship the complete view (smallest of the dense/sparse/runs
+    /// encodings), stamping the edge's epoch.
+    Full {
+        /// Per-edge epoch this full view establishes.
+        epoch: u32,
+    },
+    /// Ship only the growth since the edge's last full view.
+    Delta {
+        /// Epoch of the full view this delta extends.
+        epoch: u32,
+        /// `|view|` of that full view — consistency check at the
+        /// receiver.
+        base_count: u32,
+        /// Ids added since, ascending. `Arc`-shared like the view: a
+        /// fan-out clones O(1).
+        additions: Arc<[u32]>,
+    },
+}
+
+impl ViewWire {
+    /// The untracked default: a full frame under epoch 0.
+    pub fn full() -> ViewWire {
+        ViewWire::Full { epoch: 0 }
+    }
 }
 
 /// Parent→child coordination packet (`c`/`c1`/`c2` in the paper).
@@ -99,6 +149,10 @@ pub struct ControlPacket {
     /// Shipping it spares each of the `parts` receivers the
     /// mark/re-enhance recomputation.
     pub basis: Option<crate::schedule::DivisionBasis>,
+    /// How `view` is encoded on the wire (full frame or per-edge
+    /// delta); affects only the codec and byte accounting, never
+    /// handler behavior.
+    pub view_wire: ViewWire,
 }
 
 /// TCoP `cc1`: the child's reply to a probe.
@@ -202,13 +256,60 @@ impl Msg {
     }
 }
 
-/// Bytes for a view bit-vector over `n` peers.
+/// Wire bytes a control packet's schedule is accounted as: the
+/// division *recipe* (stride/offset/length over the parent's announced
+/// basis), not the materialized packet list the demo codec ships.
+/// Every handler recomputes the schedule from the recipe fields anyway
+/// (`basis: None` decodes identically), so a production codec would
+/// send exactly this fixed-size descriptor.
+pub const SCHED_RECIPE_BYTES: usize = 32;
+
+/// Codec bytes for one [`PacketId`] — mirrors the net codec's
+/// `put_packet_id` (tag byte + seq/cover layout).
+fn packet_id_wire_len(id: &PacketId) -> usize {
+    match id {
+        PacketId::Data(_) => 1 + 8,
+        PacketId::Parity(cover) => 1 + 4 + 8 * cover.len(),
+        PacketId::RsParity { seqs, .. } => 1 + 1 + 4 + 8 * seqs.len(),
+    }
+}
+
+/// Codec bytes for a control packet's view site (`[epoch: u32]` + the
+/// adaptive or delta view frame).
+fn view_site_len(c: &ControlPacket) -> usize {
+    4 + match &c.view_wire {
+        ViewWire::Full { .. } => wire::encoded_len(&c.view),
+        ViewWire::Delta {
+            base_count,
+            additions,
+            ..
+        } => wire::delta_encoded_len(c.view.population(), *base_count as usize, additions),
+    }
+}
+
+/// Bytes for the seed's fixed view bit-vector over `n` peers — the
+/// historical paper-model accounting [`Msg::model_size`] preserves.
 fn view_bytes(v: &View) -> usize {
     v.population().div_ceil(8)
 }
 
-impl SimMessage for Msg {
-    fn wire_size(&self) -> usize {
+impl Msg {
+    /// [`Msg::wire_size`] with delta piggybacks priced as the full
+    /// (adaptively encoded) view — the "sparse, no deltas" point on the
+    /// control-byte comparison curve, and the resync-storm worst case.
+    pub fn full_wire_size(&self) -> usize {
+        match self {
+            Msg::Control(c) => self.wire_size() - view_site_len(c) + 4 + wire::encoded_len(&c.view),
+            _ => self.wire_size(),
+        }
+    }
+
+    /// The seed's hand-maintained paper-model accounting: fixed
+    /// `n/8`-byte view bitmaps and field-count estimates. Feeds the
+    /// legacy `coord.bytes` metric so the Figure 10/11 series stay
+    /// comparable across revisions; new analyses should prefer
+    /// [`Msg::wire_size`] (`coord.bytes_tx`).
+    pub fn model_size(&self) -> usize {
         match self {
             // wave + interval + h/H/part/parts + optional view.
             Msg::Request(r) => {
@@ -228,6 +329,42 @@ impl SimMessage for Msg {
             // The explicit schedule: ~5 bytes per entry (id + kind).
             Msg::Assign(a) => 24 + 5 * a.sched.len(),
             Msg::Nack(n) => 8 + 8 * n.seqs.len(),
+        }
+    }
+}
+
+impl SimMessage for Msg {
+    /// Exact codec frame length (`[from: u32][tag: u8][body]`), field
+    /// for field — see the module docs for the two deliberate
+    /// divergences (schedule recipe, media packet cost model). Pinned
+    /// against real `encode()` output by `mss-net`'s codec-mirror
+    /// tests.
+    fn wire_size(&self) -> usize {
+        match self {
+            Msg::Request(r) => {
+                5 + 4
+                    + 8
+                    + 16
+                    + 1
+                    + r.view.as_deref().map_or(0, wire::encoded_len)
+                    + 1
+                    + r.weights.as_ref().map_or(0, |w| 4 + 8 * w.len())
+            }
+            // kind + from + wave + [epoch + view frame] + recipe + the
+            // six fixed recipe-adjacent fields (pos, interval, mark δ,
+            // part/parts, h/fanout).
+            Msg::Control(c) => 5 + 1 + 4 + 4 + view_site_len(c) + SCHED_RECIPE_BYTES + 36,
+            Msg::Reply(_) => 5 + 4 + 1 + 4,
+            Msg::Data(d) => d.packet.wire_size(),
+            Msg::TwoPhase(t) => match t {
+                TwoPhase::Prepare { .. } => 5 + 1 + 12 + 8,
+                TwoPhase::Vote { .. } => 5 + 1 + 4 + 1,
+                TwoPhase::Decision { .. } => 5 + 1 + 1,
+            },
+            Msg::Assign(a) => {
+                5 + 20 + 4 + a.sched.ids().iter().map(packet_id_wire_len).sum::<usize>()
+            }
+            Msg::Nack(n) => 5 + 4 + 8 * n.seqs.len(),
         }
     }
 }
@@ -252,6 +389,7 @@ mod tests {
             h: 3,
             fanout: 4,
             basis: None,
+            view_wire: ViewWire::full(),
         }
     }
 
@@ -273,14 +411,44 @@ mod tests {
     }
 
     #[test]
-    fn control_wire_size_scales_with_population_not_schedule() {
+    fn control_wire_size_scales_with_view_not_schedule() {
         let small = Msg::Control(control(ControlKind::Probe, 100));
         let mut big = control(ControlKind::Probe, 100);
         big.sched = PacketSeq::data_range(100_000).into();
         let big = Msg::Control(big);
-        assert_eq!(small.wire_size(), big.wire_size());
-        let wider = Msg::Control(control(ControlKind::Probe, 800));
-        assert!(wider.wire_size() > small.wire_size());
+        assert_eq!(small.wire_size(), big.wire_size(), "schedule is a recipe");
+        // Adaptive encoding: the cost scales with membership, not the
+        // population — a fuller view costs more, a wider empty one
+        // costs only the larger `n` varint.
+        let mut fuller = control(ControlKind::Probe, 100);
+        let mut v = View::empty(100);
+        for i in (0..100).step_by(3) {
+            v.insert(PeerId(i));
+        }
+        fuller.view = Arc::new(v);
+        assert!(Msg::Control(fuller).wire_size() > small.wire_size());
+    }
+
+    #[test]
+    fn delta_control_is_smaller_and_full_prices_the_view() {
+        let mut c = control(ControlKind::Commit, 1000);
+        let mut v = View::empty(1000);
+        for i in 0..200 {
+            v.insert(PeerId(i * 5));
+        }
+        c.view = Arc::new(v);
+        let full = Msg::Control(c.clone());
+        c.view_wire = ViewWire::Delta {
+            epoch: 1,
+            base_count: 198,
+            additions: vec![41, 997].into(),
+        };
+        let delta = Msg::Control(c);
+        assert!(delta.wire_size() < full.wire_size(), "delta must shrink tx");
+        assert_eq!(delta.full_wire_size(), full.wire_size());
+        assert_eq!(delta.model_size(), full.model_size());
+        // The paper model charges the fixed bitmap regardless.
+        assert_eq!(full.model_size(), 16 + 32 + 125);
     }
 
     #[test]
@@ -326,7 +494,7 @@ mod tests {
         weighted.weights = Some(vec![1, 2, 3, 4].into());
         assert_eq!(
             Msg::Request(weighted).wire_size(),
-            Msg::Request(base).wire_size() + 32
+            Msg::Request(base).wire_size() + 4 + 32
         );
     }
 

@@ -128,18 +128,25 @@ impl Core {
     }
 
     /// Send a coordination message, maintaining the Figure-10/11
-    /// counters.
+    /// counters: the legacy paper-model bytes (`coord.bytes`), the
+    /// codec-exact transmitted bytes plus its per-kind breakdown
+    /// (`coord.bytes_tx[.*]`), and the no-delta comparison series
+    /// (`coord.bytes_full`).
     pub fn send_coord(&mut self, ctx: &mut dyn Runtime<Msg>, to: ActorId, msg: Msg) {
         debug_assert!(msg.is_coordination());
-        ctx.metrics().incr_id(mnames::coord_msgs_id());
-        ctx.metrics()
-            .add_id(mnames::coord_bytes_id(), msg.wire_size() as u64);
+        let m = ctx.metrics();
+        m.incr_id(mnames::coord_msgs_id());
+        m.add_id(mnames::coord_bytes_id(), msg.model_size() as u64);
+        let tx = msg.wire_size() as u64;
+        m.add_id(mnames::coord_bytes_tx_id(), tx);
+        m.add_id(mnames::coord_bytes_tx_kind_id(&msg), tx);
+        m.add_id(mnames::coord_bytes_full_id(), msg.full_wire_size() as u64);
         ctx.send(to, msg);
     }
 
     /// [`Core::send_coord`] for a whole fan-out at once: drains `batch`
-    /// through [`Runtime::send_batch`] and maintains the Figure-10/11
-    /// counters with two adds instead of two per message. Send order —
+    /// through [`Runtime::send_batch`] and maintains the byte counters
+    /// with one add per series instead of one per message. Send order —
     /// and therefore the seeded event stream — is identical to sending
     /// the batch elements one by one.
     pub fn send_coord_batch(
@@ -150,14 +157,25 @@ impl Core {
         if batch.is_empty() {
             return;
         }
-        let mut bytes = 0u64;
+        let mut model = 0u64;
+        let mut tx = 0u64;
+        let mut full = 0u64;
+        // Fan-out batches are kind-homogeneous (one wave of probes,
+        // commits, or activates), so one per-kind add covers them all.
+        let kind_id = mnames::coord_bytes_tx_kind_id(&batch[0].1);
         for (_, msg) in batch.iter() {
             debug_assert!(msg.is_coordination());
-            bytes += msg.wire_size() as u64;
+            debug_assert_eq!(mnames::coord_bytes_tx_kind_id(msg), kind_id);
+            model += msg.model_size() as u64;
+            tx += msg.wire_size() as u64;
+            full += msg.full_wire_size() as u64;
         }
-        ctx.metrics()
-            .add_id(mnames::coord_msgs_id(), batch.len() as u64);
-        ctx.metrics().add_id(mnames::coord_bytes_id(), bytes);
+        let m = ctx.metrics();
+        m.add_id(mnames::coord_msgs_id(), batch.len() as u64);
+        m.add_id(mnames::coord_bytes_id(), model);
+        m.add_id(mnames::coord_bytes_tx_id(), tx);
+        m.add_id(kind_id, tx);
+        m.add_id(mnames::coord_bytes_full_id(), full);
         ctx.send_batch(batch);
     }
 

@@ -550,6 +550,8 @@ fn summarize_parts(
         coord_msgs_until_active: m.counter(mnames::COORD_MSGS_AT_ACTIVATION),
         coord_msgs_total: m.counter(mnames::COORD_MSGS),
         coord_bytes: m.counter(mnames::COORD_BYTES),
+        coord_bytes_tx: m.counter(mnames::COORD_BYTES_TX),
+        coord_bytes_full: m.counter(mnames::COORD_BYTES_FULL),
         activated: m.counter(mnames::COORD_ACTIVATIONS),
         sync_nanos: m.counter(mnames::COORD_LAST_ACTIVATION_NANOS),
         receipt_rate_analytic: analytic_bps / cfg.content.rate_bps as f64,

@@ -14,7 +14,7 @@ use mss_sim::prelude::*;
 
 use crate::config::SessionConfig;
 use crate::metrics as mnames;
-use crate::msg::{ContentRequest, ControlKind, ControlPacket, Msg, ProbeReply};
+use crate::msg::{ContentRequest, ControlKind, ControlPacket, Msg, ProbeReply, ViewWire};
 use crate::peer_core::{Core, PeerReport, TAG_REPLY_TIMEOUT, TAG_SEND, TAG_SWITCH};
 use crate::plane::{PlanePeer, RoundShared};
 use crate::schedule::{derived_assignment_opts, DivisionBasis};
@@ -28,6 +28,9 @@ struct ProbeRound {
     outstanding: usize,
     /// Candidates that accepted this parent.
     accepted: Vec<PeerId>,
+    /// Everyone probed this round — so refused edges can drop their
+    /// delta-tracker snapshots.
+    probed: Vec<PeerId>,
     /// Fallback timer in case replies are lost.
     timer: TimerId,
 }
@@ -105,6 +108,9 @@ impl TcopPeer {
         let empty_sched = mss_media::SeqView::empty();
         debug_assert!(shared.outbox.is_empty());
         for child in &candidates {
+            // Snapshot what this edge is told in full: the commit that
+            // follows a confirmation ships only the growth since.
+            let epoch = shared.delta.record_full(self.core.me, *child, &view);
             let probe = ControlPacket {
                 kind: ControlKind::Probe,
                 from: self.core.me,
@@ -119,6 +125,7 @@ impl TcopPeer {
                 h: self.core.cfg.parity_interval as u32,
                 fanout: self.core.cfg.fanout as u32,
                 basis: None,
+                view_wire: ViewWire::Full { epoch },
             };
             let to = self.core.dir.actor_of(*child);
             shared.outbox.push((to, Msg::Control(probe)));
@@ -129,6 +136,7 @@ impl TcopPeer {
             child_wave,
             outstanding: candidates.len(),
             accepted: Vec::new(),
+            probed: candidates,
             timer,
         });
     }
@@ -178,6 +186,13 @@ impl TcopPeer {
         let Some(round) = self.probe.take() else {
             return;
         };
+        // Refused (or timed-out) edges get no commit: drop their
+        // snapshots so the tracker stays bounded by in-flight probes.
+        for p in &round.probed {
+            if !round.accepted.contains(p) {
+                shared.delta.take(self.core.me, *p);
+            }
+        }
         if round.accepted.is_empty() {
             // The paper stops here ("if C = φ"); with persistent probing
             // the parent tries the next candidate batch, which guarantees
@@ -218,11 +233,24 @@ impl TcopPeer {
         );
         debug_assert!(shared.outbox.is_empty());
         for (j, child) in round.accepted.iter().enumerate() {
+            // Delta piggyback: the probe already carried this edge a
+            // full view; ship only the ids gained since. In-memory the
+            // commit still carries the complete view — `view_wire`
+            // affects the codec and byte accounting only.
+            let view_wire = match shared.delta.take(self.core.me, *child) {
+                Some((epoch, base)) => ViewWire::Delta {
+                    epoch,
+                    base_count: base.count() as u32,
+                    additions: view.diff_ids(&base).into(),
+                },
+                None => ViewWire::full(),
+            };
             let commit = ControlPacket {
                 kind: ControlKind::Commit,
                 from: self.core.me,
                 wave: round.child_wave,
                 view: view.clone(),
+                view_wire,
                 sched: sched.clone(),
                 pos,
                 interval_nanos: interval,

@@ -109,6 +109,7 @@ fn control(kind: ControlKind) -> ControlPacket {
         h: 3,
         fanout: 3,
         basis: None,
+        view_wire: mss_core::msg::ViewWire::full(),
     }
 }
 

@@ -20,7 +20,10 @@
 //!
 //! The default grid tops out at n = 2·10³ (already far past where one
 //! thread per peer is comfortable on a small box); `--full` adds
-//! n = 4·10³, near the full-view piggyback frame bound. The
+//! n = 4·10³ — the old fixed-bitmap piggyback frame bound — and
+//! n = 10⁴, which only became hostable once the adaptive view codec
+//! and delta piggybacks shrank control frames (a fixed bitmap at
+//! n = 10⁴ cost 1.25 KB in *every* request and control packet). The
 //! thread-per-peer baseline is only run up to [`THREADS_CAP`] peers:
 //! beyond that, merely spawning the threads takes minutes on a small
 //! box (thousands of runnable threads contend with every further
@@ -96,11 +99,13 @@ pub struct LivePoint {
     pub rx_dropped: u64,
 }
 
-/// The population grid: up to 2·10³ by default, 4·10³ with `--full`.
+/// The population grid: up to 2·10³ by default; `--full` adds 4·10³
+/// (the old fixed-bitmap frame bound) and 10⁴ (adaptive views only).
 pub fn population_grid(full: bool) -> Vec<usize> {
     let mut g = vec![100, 250, 500, 1_000, 2_000];
     if full {
         g.push(4_000);
+        g.push(10_000);
     }
     g
 }
@@ -314,6 +319,7 @@ mod tests {
     fn grids_and_budgets_are_sane() {
         assert_eq!(population_grid(false), vec![100, 250, 500, 1_000, 2_000]);
         assert!(population_grid(true).contains(&4_000));
+        assert!(population_grid(true).contains(&10_000));
         assert!(wall_budget(1_000) >= Duration::from_secs(40));
         // Completion beats speed; fuller activation beats speed; then
         // the faster repetition wins.

@@ -18,6 +18,7 @@
 //! | [`scaling`] | events/sec at n=10²–10⁵ on the sharded kernel |
 //! | [`shardcheck`] | sharded-kernel determinism gate (n=10⁴) |
 //! | [`live_scale`] | live UDP loopback: ready-queue runtime vs thread-per-peer |
+//! | [`view_bytes`] | control bytes/peer/round: fixed bitmap vs adaptive vs delta |
 
 pub mod ablation;
 pub mod coding;
@@ -35,6 +36,7 @@ pub mod overrun;
 pub mod scaling;
 pub mod shardcheck;
 pub mod startup;
+pub mod view_bytes;
 
 use crate::table::Table;
 

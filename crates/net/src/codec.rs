@@ -4,13 +4,24 @@
 //! (no external serializer). Every frame is `[from: u32][kind: u8][body]`.
 //! Schedules are carried explicitly in this demo codec (a production
 //! format would ship the derivation recipe; see `mss_core::msg` docs).
+//!
+//! Views travel as the adaptive `mss_overlay::wire` frames (dense /
+//! sparse / runs, whichever is smallest) rather than the seed's fixed
+//! `n`-bit bitmap; a control packet's view site is `[epoch: u32]`
+//! followed by one such frame, which may be a *delta* (the ids gained
+//! since the epoch-stamped full view on that edge). Decoding a delta
+//! yields a packet whose `view` holds the additions only, with the
+//! original [`ViewWire::Delta`] preserved so a receiver holding the
+//! per-edge snapshot (see `live`'s reassembler) can reconstruct the
+//! complete view.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use mss_core::msg::{
     ContentRequest, ControlKind, ControlPacket, DataMsg, Msg, Nack, ProbeReply, ScheduleAssignment,
-    TwoPhase,
+    TwoPhase, ViewWire,
 };
 use mss_media::{Packet, PacketId, PacketSeq, Seq, SeqView};
+use mss_overlay::wire::{self, ViewFrame, WireError};
 use mss_overlay::{PeerId, View};
 use mss_sim::event::ActorId;
 use std::sync::Arc;
@@ -24,6 +35,9 @@ pub enum CodecError {
     BadTag(u8),
     /// A length field exceeded sanity bounds.
     BadLength(u64),
+    /// A view frame failed to decode (bad version/tag/body — see
+    /// [`mss_overlay::wire::WireError`]).
+    BadView(WireError),
 }
 
 impl std::fmt::Display for CodecError {
@@ -32,6 +46,7 @@ impl std::fmt::Display for CodecError {
             CodecError::Truncated => write!(f, "truncated frame"),
             CodecError::BadTag(t) => write!(f, "unknown tag {t}"),
             CodecError::BadLength(l) => write!(f, "implausible length {l}"),
+            CodecError::BadView(e) => write!(f, "bad view frame: {e}"),
         }
     }
 }
@@ -39,6 +54,11 @@ impl std::fmt::Display for CodecError {
 impl std::error::Error for CodecError {}
 
 const MAX_LEN: u64 = 16 * 1024 * 1024;
+
+/// Largest population a decoded view frame may claim — allocation guard
+/// against corrupt input; matches the sharded kernel's million-peer
+/// ceiling.
+const MAX_POPULATION: usize = 1_000_000;
 
 fn need(buf: &impl Buf, n: usize) -> Result<(), CodecError> {
     if buf.remaining() < n {
@@ -57,45 +77,27 @@ fn get_len(buf: &mut impl Buf) -> Result<usize, CodecError> {
     Ok(l as usize)
 }
 
+/// Write a view in its smallest set encoding.
 fn put_view(out: &mut BytesMut, v: &View) {
-    out.put_u32_le(v.population() as u32);
-    let mut byte = 0u8;
-    let mut nbits = 0;
-    for i in 0..v.population() {
-        if v.contains(PeerId(i as u32)) {
-            byte |= 1 << nbits;
-        }
-        nbits += 1;
-        if nbits == 8 {
-            out.put_u8(byte);
-            byte = 0;
-            nbits = 0;
-        }
-    }
-    if nbits > 0 {
-        out.put_u8(byte);
+    wire::encode_view(v, out);
+}
+
+/// Read one full (set) view frame; delta frames are invalid here.
+fn get_view(buf: &mut &[u8]) -> Result<View, CodecError> {
+    match get_view_frame(buf)? {
+        ViewFrame::Set(v) => Ok(v),
+        ViewFrame::Delta { .. } => Err(CodecError::BadView(WireError::BadEncoding)),
     }
 }
 
-fn get_view(buf: &mut impl Buf) -> Result<View, CodecError> {
-    need(buf, 4)?;
-    let n = buf.get_u32_le() as usize;
-    if n as u64 > 1_000_000 {
-        return Err(CodecError::BadLength(n as u64));
-    }
-    let nbytes = n.div_ceil(8);
-    need(buf, nbytes)?;
-    let mut v = View::empty(n);
-    for byte_idx in 0..nbytes {
-        let b = buf.get_u8();
-        for bit in 0..8 {
-            let i = byte_idx * 8 + bit;
-            if i < n && b & (1 << bit) != 0 {
-                v.insert(PeerId(i as u32));
-            }
-        }
-    }
-    Ok(v)
+/// Read one view frame (set or delta) from a slice-backed buffer.
+fn get_view_frame(buf: &mut &[u8]) -> Result<ViewFrame, CodecError> {
+    let (frame, used) = wire::decode_view(buf, MAX_POPULATION).map_err(|e| match e {
+        WireError::Truncated => CodecError::Truncated,
+        other => CodecError::BadView(other),
+    })?;
+    buf.advance(used);
+    Ok(frame)
 }
 
 fn put_packet_id(out: &mut BytesMut, id: &PacketId) {
@@ -185,7 +187,20 @@ fn put_control(out: &mut BytesMut, c: &ControlPacket) {
     });
     out.put_u32_le(c.from.0);
     out.put_u32_le(c.wave);
-    put_view(out, &c.view);
+    match &c.view_wire {
+        ViewWire::Full { epoch } => {
+            out.put_u32_le(*epoch);
+            put_view(out, &c.view);
+        }
+        ViewWire::Delta {
+            epoch,
+            base_count,
+            additions,
+        } => {
+            out.put_u32_le(*epoch);
+            wire::encode_delta(c.view.population(), *base_count as usize, additions, out);
+        }
+    }
     put_seq_view(out, &c.sched);
     out.put_u32_le(c.pos);
     out.put_u64_le(c.interval_nanos);
@@ -196,7 +211,7 @@ fn put_control(out: &mut BytesMut, c: &ControlPacket) {
     out.put_u32_le(c.fanout);
 }
 
-fn get_control(buf: &mut impl Buf) -> Result<ControlPacket, CodecError> {
+fn get_control(buf: &mut &[u8]) -> Result<ControlPacket, CodecError> {
     need(buf, 9)?;
     let kind = match buf.get_u8() {
         0 => ControlKind::Activate,
@@ -207,7 +222,28 @@ fn get_control(buf: &mut impl Buf) -> Result<ControlPacket, CodecError> {
     };
     let from = PeerId(buf.get_u32_le());
     let wave = buf.get_u32_le();
-    let view = Arc::new(get_view(buf)?);
+    need(buf, 4)?;
+    let epoch = buf.get_u32_le();
+    // A delta decodes to its additions only; `view_wire` keeps the
+    // delta so a reassembler holding the edge's epoch-stamped snapshot
+    // can rebuild the complete view (grow-only views make the
+    // additions alone a safe floor when it can't).
+    let (view, view_wire) = match get_view_frame(buf)? {
+        ViewFrame::Set(v) => (v, ViewWire::Full { epoch }),
+        ViewFrame::Delta {
+            n,
+            base_count,
+            additions,
+        } => (
+            View::from_sorted_ids(n, additions.clone()),
+            ViewWire::Delta {
+                epoch,
+                base_count: base_count as u32,
+                additions: additions.into(),
+            },
+        ),
+    };
+    let view = Arc::new(view);
     let sched = SeqView::from(get_seq(buf)?);
     need(buf, 4 + 8 + 8 + 16)?;
     Ok(ControlPacket {
@@ -224,6 +260,7 @@ fn get_control(buf: &mut impl Buf) -> Result<ControlPacket, CodecError> {
         h: buf.get_u32_le(),
         fanout: buf.get_u32_le(),
         basis: None,
+        view_wire,
     })
 }
 
@@ -464,6 +501,7 @@ pub fn decode(frame: &[u8]) -> Result<(ActorId, Msg), CodecError> {
 mod tests {
     use super::*;
     use mss_media::ContentDesc;
+    use mss_sim::world::SimMessage;
 
     fn view_of(n: usize, members: &[u32]) -> View {
         let mut v = View::empty(n);
@@ -543,6 +581,7 @@ mod tests {
             h: 2,
             fanout: 3,
             basis: None,
+            view_wire: ViewWire::Full { epoch: 7 },
         });
         match roundtrip(msg) {
             Msg::Control(c) => {
@@ -550,8 +589,139 @@ mod tests {
                 assert_eq!(c.sched.to_seq(), sched);
                 assert_eq!(c.mark_delta_nanos, 123);
                 assert_eq!(c.view.count(), 2);
+                assert_eq!(c.view_wire, ViewWire::Full { epoch: 7 });
             }
             other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delta_control_roundtrip_preserves_additions() {
+        let full = view_of(500, &[1, 2, 3, 90, 411]);
+        let msg = Msg::Control(ControlPacket {
+            kind: ControlKind::Commit,
+            from: PeerId(9),
+            wave: 2,
+            view: Arc::new(full),
+            sched: SeqView::empty(),
+            pos: 0,
+            interval_nanos: 10,
+            mark_delta_nanos: 0,
+            part: 1,
+            parts: 2,
+            h: 2,
+            fanout: 2,
+            basis: None,
+            view_wire: ViewWire::Delta {
+                epoch: 3,
+                base_count: 3,
+                additions: vec![90, 411].into(),
+            },
+        });
+        match roundtrip(msg) {
+            Msg::Control(c) => {
+                // Without the edge snapshot, the decoded view is the
+                // additions alone; the delta survives for reassembly.
+                assert_eq!(
+                    c.view.iter().map(|p| p.0).collect::<Vec<_>>(),
+                    vec![90, 411]
+                );
+                assert_eq!(c.view.population(), 500);
+                assert_eq!(
+                    c.view_wire,
+                    ViewWire::Delta {
+                        epoch: 3,
+                        base_count: 3,
+                        additions: vec![90, 411].into(),
+                    }
+                );
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wire_size_mirrors_encoded_frame_length() {
+        // `Msg::wire_size` must equal the real frame length for every
+        // coordination message, modulo the documented schedule
+        // divergence: the accounting charges SCHED_RECIPE_BYTES where
+        // the demo codec writes `[len: u32]` + the materialized ids.
+        let exact = [
+            Msg::Request(ContentRequest {
+                wave: 1,
+                interval_nanos: 9,
+                h: 3,
+                fanout: 4,
+                part: 1,
+                parts: 4,
+                view: Some(Arc::new(view_of(3_000, &[5, 2_999]))),
+                weights: Some(vec![3, 1].into()),
+            }),
+            Msg::Reply(ProbeReply {
+                from: PeerId(3),
+                accept: true,
+                wave: 2,
+            }),
+            Msg::TwoPhase(TwoPhase::Prepare {
+                part: 0,
+                parts: 2,
+                h: 1,
+                interval_nanos: 5,
+            }),
+            Msg::TwoPhase(TwoPhase::Vote {
+                from: PeerId(1),
+                ok: false,
+            }),
+            Msg::TwoPhase(TwoPhase::Decision { commit: true }),
+            Msg::Assign(ScheduleAssignment {
+                part: 0,
+                parts: 2,
+                h: 2,
+                interval_nanos: 7,
+                sched: mss_media::parity::esq(&PacketSeq::data_range(9), 3),
+            }),
+            Msg::Nack(Nack {
+                seqs: vec![Seq(4), Seq(5)].into(),
+            }),
+        ];
+        for msg in &exact {
+            assert_eq!(
+                encode(ActorId(1), msg).len(),
+                msg.wire_size(),
+                "mirror drift for {msg:?}"
+            );
+        }
+        for view_wire in [
+            ViewWire::Full { epoch: 1 },
+            ViewWire::Delta {
+                epoch: 1,
+                base_count: 2,
+                additions: vec![7, 64].into(),
+            },
+        ] {
+            let c = Msg::Control(ControlPacket {
+                kind: ControlKind::Probe,
+                from: PeerId(2),
+                wave: 1,
+                view: Arc::new(view_of(900, &[1, 7, 64])),
+                sched: SeqView::empty(),
+                pos: 0,
+                interval_nanos: 11,
+                mark_delta_nanos: 0,
+                part: 0,
+                parts: 0,
+                h: 3,
+                fanout: 4,
+                basis: None,
+                view_wire,
+            });
+            let frame = encode(ActorId(1), &c);
+            let empty_sched_bytes = 4; // `[len: u32]` for zero entries
+            assert_eq!(
+                frame.len(),
+                c.wire_size() - mss_core::msg::SCHED_RECIPE_BYTES + empty_sched_bytes,
+                "control mirror drift"
+            );
         }
     }
 

@@ -39,6 +39,7 @@ pub(crate) mod ready;
 pub mod runtime;
 pub(crate) mod sys;
 pub mod udp;
+pub mod views;
 
 pub use bus::{ThreadedOutcome, ThreadedSession};
 pub use live::LiveSession;

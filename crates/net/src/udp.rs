@@ -40,6 +40,9 @@ pub struct UdpTransport {
     /// Recycled frame buffers: every send encodes into pooled scratch
     /// instead of allocating a fresh frame per delivery.
     frames: BufPool,
+    /// Per-sender view snapshots: this socket belongs to one actor, so
+    /// the reassembler's receiver key is constant.
+    views: crate::views::ViewReassembler,
 }
 
 impl UdpTransport {
@@ -51,6 +54,7 @@ impl UdpTransport {
             addrs,
             buf: vec![0u8; 65_536],
             frames: BufPool::default(),
+            views: crate::views::ViewReassembler::new(),
         }
     }
 }
@@ -72,7 +76,13 @@ impl Transport for UdpTransport {
             .set_read_timeout(Some(timeout.max(Duration::from_micros(100))))
             .ok()?;
         match self.socket.recv_from(&mut self.buf) {
-            Ok((len, _)) => decode(&self.buf[..len]).ok(),
+            Ok((len, _)) => {
+                let (from, mut msg) = decode(&self.buf[..len]).ok()?;
+                if let Msg::Control(c) = &mut msg {
+                    self.views.resolve(self.me.0, c);
+                }
+                Some((from, msg))
+            }
             Err(_) => None,
         }
     }

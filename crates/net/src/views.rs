@@ -1,0 +1,194 @@
+//! Receiver-side reconstruction of delta-coded view piggybacks.
+//!
+//! A sender ships an edge its full view once (epoch-stamped) and
+//! follow-ups carry only the ids gained since (see the delta tracker in
+//! `mss_core::plane`). The codec decodes such a delta into a control
+//! packet whose `view` holds the additions alone; a [`ViewReassembler`]
+//! sits next to each live decode site, caches the last full view per
+//! directed edge, and upgrades delta packets back to the sender's
+//! complete view before the protocol handler sees them.
+//!
+//! When the cached snapshot doesn't match (first contact on a rebooted
+//! receiver, a lost or reordered full frame), the packet keeps its
+//! additions-only view — the documented degraded mode. That is safe,
+//! not merely tolerable: views are grow-only and every id in a delta is
+//! genuinely in the sender's view, so a mismatch can only *under*-inform
+//! the receiver, which the protocols already absorb (the same peer can
+//! be re-selected, re-probed, or re-announced to). The fallback count is
+//! surfaced as the `net.view_resync_fallbacks` metric so live runs can
+//! confirm deltas are actually resolving.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mss_core::msg::{ControlPacket, ViewWire};
+use mss_overlay::wire::apply_delta;
+use mss_overlay::View;
+
+/// Per-edge cache of the last full view received, keyed by
+/// `(receiver, sender)` so one reassembler can serve a shard socket
+/// carrying frames for many local tasks.
+#[derive(Default)]
+pub struct ViewReassembler {
+    snaps: HashMap<u64, (u32, Arc<View>)>,
+    fallbacks: u64,
+}
+
+impl ViewReassembler {
+    /// Fresh reassembler with no cached edges.
+    pub fn new() -> ViewReassembler {
+        ViewReassembler::default()
+    }
+
+    fn key(receiver: u32, sender: u32) -> u64 {
+        (u64::from(receiver) << 32) | u64::from(sender)
+    }
+
+    /// Resolve a just-decoded control packet in place for the task
+    /// `receiver`: full frames refresh the edge snapshot; delta frames
+    /// are rebuilt against it when the epoch and base cardinality
+    /// match, and otherwise left additions-only (counted as a
+    /// fallback).
+    pub fn resolve(&mut self, receiver: u32, c: &mut ControlPacket) {
+        let key = ViewReassembler::key(receiver, c.from.0);
+        match &c.view_wire {
+            ViewWire::Full { epoch } => {
+                self.snaps.insert(key, (*epoch, Arc::clone(&c.view)));
+            }
+            ViewWire::Delta {
+                epoch,
+                base_count,
+                additions,
+            } => match self.snaps.get(&key) {
+                Some((e, base)) if e == epoch && base.count() == *base_count as usize => {
+                    c.view = Arc::new(apply_delta(base, additions));
+                }
+                _ => self.fallbacks += 1,
+            },
+        }
+    }
+
+    /// Deltas that could not be paired with a snapshot and fell back to
+    /// their additions-only view.
+    pub fn fallbacks(&self) -> u64 {
+        self.fallbacks
+    }
+
+    /// Number of edges currently holding a snapshot.
+    pub fn tracked_edges(&self) -> usize {
+        self.snaps.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mss_core::msg::{ControlKind, Msg};
+    use mss_media::SeqView;
+    use mss_overlay::PeerId;
+
+    fn view_of(n: usize, ids: &[u32]) -> View {
+        let mut v = View::empty(n);
+        for &i in ids {
+            v.insert(PeerId(i));
+        }
+        v
+    }
+
+    fn control(view: View, view_wire: ViewWire) -> ControlPacket {
+        ControlPacket {
+            kind: ControlKind::Commit,
+            from: PeerId(4),
+            wave: 1,
+            view: Arc::new(view),
+            sched: SeqView::empty(),
+            pos: 0,
+            interval_nanos: 1,
+            mark_delta_nanos: 0,
+            part: 1,
+            parts: 2,
+            h: 2,
+            fanout: 2,
+            basis: None,
+            view_wire,
+        }
+    }
+
+    /// Drive a packet through the real codec, as the live poll loop
+    /// does, then resolve it.
+    fn through_codec(c: ControlPacket) -> ControlPacket {
+        let frame = crate::codec::encode(mss_sim::event::ActorId(4), &Msg::Control(c));
+        match crate::codec::decode(&frame).expect("decodes").1 {
+            Msg::Control(c) => c,
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_then_delta_reconstructs_the_grown_view() {
+        let mut r = ViewReassembler::new();
+        let base = view_of(300, &[1, 9, 250]);
+        let mut first = through_codec(control(base.clone(), ViewWire::Full { epoch: 1 }));
+        r.resolve(7, &mut first);
+        assert_eq!(first.view.as_ref(), &base);
+        assert_eq!(r.tracked_edges(), 1);
+
+        let grown = view_of(300, &[1, 2, 9, 250, 299]);
+        let mut second = through_codec(control(
+            grown.clone(),
+            ViewWire::Delta {
+                epoch: 1,
+                base_count: base.count() as u32,
+                additions: grown.diff_ids(&base).into(),
+            },
+        ));
+        // The codec alone only sees the additions…
+        assert_eq!(second.view.count(), 2);
+        r.resolve(7, &mut second);
+        // …the reassembler restores the sender's complete view.
+        assert_eq!(second.view.as_ref(), &grown);
+        assert_eq!(r.fallbacks(), 0);
+    }
+
+    #[test]
+    fn mismatched_delta_falls_back_to_additions_only() {
+        let mut r = ViewReassembler::new();
+        let grown = view_of(100, &[3, 4, 5]);
+        let delta = ViewWire::Delta {
+            epoch: 9,
+            base_count: 1,
+            additions: vec![4, 5].into(),
+        };
+        // No snapshot at all (lost full frame).
+        let mut c = through_codec(control(grown.clone(), delta.clone()));
+        r.resolve(0, &mut c);
+        assert_eq!(c.view.count(), 2, "additions-only floor");
+        assert_eq!(r.fallbacks(), 1);
+        // Snapshot under a different epoch: also a fallback.
+        let mut full = through_codec(control(view_of(100, &[3]), ViewWire::Full { epoch: 1 }));
+        r.resolve(0, &mut full);
+        let mut c = through_codec(control(grown, delta));
+        r.resolve(0, &mut c);
+        assert_eq!(c.view.count(), 2);
+        assert_eq!(r.fallbacks(), 2);
+    }
+
+    #[test]
+    fn edges_are_keyed_per_receiver_and_sender() {
+        let mut r = ViewReassembler::new();
+        let base = view_of(50, &[1]);
+        let mut c = through_codec(control(base.clone(), ViewWire::Full { epoch: 1 }));
+        r.resolve(10, &mut c);
+        // Same sender, different receiving task: no snapshot.
+        let mut d = through_codec(control(
+            view_of(50, &[1, 2]),
+            ViewWire::Delta {
+                epoch: 1,
+                base_count: 1,
+                additions: vec![2].into(),
+            },
+        ));
+        r.resolve(11, &mut d);
+        assert_eq!(r.fallbacks(), 1);
+    }
+}

@@ -10,7 +10,7 @@ use proptest::prelude::*;
 use bytes::BytesMut;
 use mss_core::msg::{
     ContentRequest, ControlKind, ControlPacket, DataMsg, Msg, Nack, ProbeReply, ScheduleAssignment,
-    TwoPhase,
+    TwoPhase, ViewWire,
 };
 use mss_net::codec::{decode, encode_into, encode_routed_into};
 use mss_overlay::{PeerId, View};
@@ -61,26 +61,45 @@ fn gen_msg(seed: u64) -> Msg {
                 None
             },
         }),
-        1 => Msg::Control(ControlPacket {
-            kind: match rng.gen_below(4) {
-                0 => ControlKind::Activate,
-                1 => ControlKind::Probe,
-                2 => ControlKind::Commit,
-                _ => ControlKind::Announce,
-            },
-            from: PeerId(rng.gen_below(1000) as u32),
-            wave: rng.gen_below(20) as u32,
-            view: view(1 + rng.gen_below(128) as usize),
-            sched: seq(30).into(),
-            pos: rng.gen_below(30) as u32,
-            interval_nanos: rng.next_u64() >> 30,
-            mark_delta_nanos: rng.next_u64() >> 30,
-            part: rng.gen_below(8) as u32,
-            parts: 1 + rng.gen_below(8) as u32,
-            h: 1 + rng.gen_below(8) as u32,
-            fanout: 1 + rng.gen_below(8) as u32,
-            basis: None,
-        }),
+        1 => {
+            let v = view(1 + rng.gen_below(128) as usize);
+            // Half full frames, half deltas whose additions are a
+            // subset of the in-memory view (as real senders produce).
+            let view_wire = if rng.gen_bool(0.5) {
+                ViewWire::Full {
+                    epoch: rng.gen_below(1000) as u32,
+                }
+            } else {
+                let members: Vec<u32> = v.iter().map(|p| p.0).collect();
+                let keep = rng.gen_below(members.len() as u64 + 1) as usize;
+                ViewWire::Delta {
+                    epoch: rng.gen_below(1000) as u32,
+                    base_count: rng.gen_below(v.population() as u64 + 1) as u32,
+                    additions: members[..keep].to_vec().into(),
+                }
+            };
+            Msg::Control(ControlPacket {
+                kind: match rng.gen_below(4) {
+                    0 => ControlKind::Activate,
+                    1 => ControlKind::Probe,
+                    2 => ControlKind::Commit,
+                    _ => ControlKind::Announce,
+                },
+                from: PeerId(rng.gen_below(1000) as u32),
+                wave: rng.gen_below(20) as u32,
+                view: v,
+                sched: seq(30).into(),
+                pos: rng.gen_below(30) as u32,
+                interval_nanos: rng.next_u64() >> 30,
+                mark_delta_nanos: rng.next_u64() >> 30,
+                part: rng.gen_below(8) as u32,
+                parts: 1 + rng.gen_below(8) as u32,
+                h: 1 + rng.gen_below(8) as u32,
+                fanout: 1 + rng.gen_below(8) as u32,
+                basis: None,
+                view_wire,
+            })
+        }
         2 => Msg::Reply(ProbeReply {
             from: PeerId(rng.gen_below(1000) as u32),
             accept: rng.gen_bool(0.5),
@@ -140,6 +159,61 @@ fn encode_frame(from: ActorId, msg: &Msg) -> Vec<u8> {
     out.to_vec()
 }
 
+/// Views engineered to land in each adaptive representation: a handful
+/// of scattered ids (sparse varint list), long contiguous bands (runs),
+/// and near-full membership (dense bitmap). `shape` selects one.
+fn shaped_view(shape: u64, seed: u64) -> Arc<View> {
+    let mut rng = SimRng::new(seed).fork(0x5AE);
+    let n = 256 + rng.gen_below(2048) as usize;
+    let mut v = View::empty(n);
+    match shape % 3 {
+        0 => {
+            // Sparse: few isolated members.
+            for _ in 0..1 + rng.gen_below(8) {
+                v.insert(PeerId(rng.gen_below(n as u64) as u32));
+            }
+        }
+        1 => {
+            // Runs: a few long contiguous bands.
+            for _ in 0..1 + rng.gen_below(4) {
+                let start = rng.gen_below(n as u64 - 64) as u32;
+                let len = 16 + rng.gen_below(48) as u32;
+                for id in start..start + len {
+                    v.insert(PeerId(id));
+                }
+            }
+        }
+        _ => {
+            // Dense: everyone except a few holes.
+            for id in 0..n as u32 {
+                v.insert(PeerId(id));
+            }
+        }
+    }
+    Arc::new(v)
+}
+
+/// A control packet whose only varying parts are the view and its wire
+/// form — isolates the view frame inside a real codec frame.
+fn control_with(view: Arc<View>, view_wire: ViewWire) -> Msg {
+    Msg::Control(ControlPacket {
+        kind: ControlKind::Commit,
+        from: PeerId(4),
+        wave: 3,
+        view,
+        sched: mss_media::SeqView::empty(),
+        pos: 0,
+        interval_nanos: 1_000,
+        mark_delta_nanos: 0,
+        part: 0,
+        parts: 1,
+        h: 2,
+        fanout: 2,
+        basis: None,
+        view_wire,
+    })
+}
+
 proptest! {
     /// encode → decode → encode is byte-stable for every message shape.
     #[test]
@@ -195,5 +269,72 @@ proptest! {
         let mut rng = SimRng::new(seed).fork(0xFEED);
         let junk: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
         let _ = decode(&junk);
+    }
+
+    /// Every adaptive view representation — sparse list, run-length,
+    /// dense bitmap — survives a full codec frame: the roundtrip is
+    /// byte-stable and the decoded view is set-equal to the original
+    /// regardless of which encoding the codec selected.
+    #[test]
+    fn every_view_shape_roundtrips_through_control_frames(seed in any::<u64>(), shape in 0u64..3) {
+        let v = shaped_view(shape, seed);
+        let msg = control_with(Arc::clone(&v), ViewWire::Full { epoch: 2 });
+        let frame = encode_frame(ActorId(11), &msg);
+        let (_, back) = decode(&frame).expect("shaped view frame must decode");
+        let Msg::Control(c) = &back else { panic!("wrong variant") };
+        prop_assert_eq!(c.view.as_ref(), v.as_ref(), "decoded view differs for shape {}", shape);
+        prop_assert_eq!(&frame, &encode_frame(ActorId(11), &back));
+    }
+
+    /// Delta frames carry only the additions: the decoded packet's view
+    /// is exactly the sorted additions set and the `ViewWire` metadata
+    /// (epoch, base cardinality, ids) survives byte-exactly.
+    #[test]
+    fn delta_frames_preserve_additions_and_metadata(seed in any::<u64>(), shape in 0u64..3) {
+        let v = shaped_view(shape, seed);
+        let members: Vec<u32> = v.iter().map(|p| p.0).collect();
+        let mut rng = SimRng::new(seed).fork(0xDE17A);
+        let keep = rng.gen_below(members.len() as u64 + 1) as usize;
+        let wire = ViewWire::Delta {
+            epoch: rng.gen_below(1 << 20) as u32,
+            base_count: (members.len() - keep) as u32,
+            additions: members[members.len() - keep..].to_vec().into(),
+        };
+        let msg = control_with(v, wire.clone());
+        let frame = encode_frame(ActorId(11), &msg);
+        let (_, back) = decode(&frame).expect("delta frame must decode");
+        let Msg::Control(c) = &back else { panic!("wrong variant") };
+        prop_assert_eq!(&c.view_wire, &wire);
+        let got: Vec<u32> = c.view.iter().map(|p| p.0).collect();
+        prop_assert_eq!(&got, &members[members.len() - keep..]);
+        prop_assert_eq!(&frame, &encode_frame(ActorId(11), &back));
+    }
+
+    /// Truncating or corrupting a frame built around any view shape
+    /// (including delta frames) errors cleanly — never a panic.
+    #[test]
+    fn damaged_view_frames_never_panic(seed in any::<u64>(), shape in 0u64..3, flips in 1usize..8) {
+        let v = shaped_view(shape, seed);
+        let msg = if shape == 1 {
+            let members: Vec<u32> = v.iter().map(|p| p.0).collect();
+            control_with(v, ViewWire::Delta {
+                epoch: 5,
+                base_count: 0,
+                additions: members.into(),
+            })
+        } else {
+            control_with(v, ViewWire::Full { epoch: 5 })
+        };
+        let frame = encode_frame(ActorId(3), &msg);
+        for cut in 0..frame.len() {
+            let _ = decode(&frame[..cut]);
+        }
+        let mut damaged = frame;
+        let mut rng = SimRng::new(seed).fork(0xBADB17);
+        for _ in 0..flips {
+            let at = rng.gen_below(damaged.len() as u64) as usize;
+            damaged[at] ^= (1 + rng.gen_below(255)) as u8;
+        }
+        let _ = decode(&damaged);
     }
 }

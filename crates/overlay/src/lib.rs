@@ -6,7 +6,9 @@
 //!
 //! - [`peer`]: dense contents-peer ids `CP_1 … CP_n` and the directory
 //!   mapping them to transport actors,
-//! - [`view`]: the `VW_i` bit-vector views carried in control packets,
+//! - [`view`]: the adaptive `VW_i` views carried in control packets,
+//! - [`wire`]: compact self-describing wire encodings for those views
+//!   (dense / sparse / runs / delta frames),
 //! - [`select`]: the paper's `Select`/`Aselect` child-selection draws and
 //!   pluggable strategies,
 //! - [`failure`]: a timeout-based (◇P-style) failure detector for the
@@ -22,6 +24,7 @@ pub mod gossip;
 pub mod peer;
 pub mod select;
 pub mod view;
+pub mod wire;
 
 pub use peer::{Directory, PeerId};
 pub use view::View;

@@ -12,10 +12,21 @@
 //! biased variants (e.g. locality-aware selection, an extension beyond
 //! the paper).
 
+use std::collections::HashMap;
+
 use mss_sim::rng::SimRng;
 
 use crate::peer::PeerId;
 use crate::view::View;
+
+/// Complement size above which [`select_from_complement_with`] switches
+/// from materializing the pool (O(n) time and scratch) to the indexed
+/// draw (O(m) map entries + O(m log |view|) lookups). Both paths consume
+/// the identical RNG sequence and return identical picks, so the
+/// threshold is purely a performance knob — it cannot perturb seeded
+/// runs. Kept well above every paper-eval population so the small-n
+/// figures keep exercising the original code path.
+const INDEXED_SELECT_THRESHOLD: usize = 4096;
 
 /// Uniformly draw up to `m` distinct peers not present in `view`.
 ///
@@ -40,6 +51,13 @@ pub fn select_from_complement_with(
     rng: &mut SimRng,
     pool: &mut Vec<PeerId>,
 ) -> Vec<PeerId> {
+    if view.absent_count() > INDEXED_SELECT_THRESHOLD {
+        // Population-scale worlds: materializing a ~n-element pool per
+        // selection is O(n) work for an O(fanout) draw — at n = 10⁶
+        // that cost (not memory) is what made large worlds infeasible.
+        pool.clear();
+        return select_from_complement_indexed(view, m, rng);
+    }
     view.complement_into(pool);
     let k = m.min(pool.len());
     let len = pool.len();
@@ -48,6 +66,35 @@ pub fn select_from_complement_with(
         pool.swap(i, j);
     }
     pool[..k].to_vec()
+}
+
+/// [`select_from_complement`] without materializing the complement:
+/// runs the exact same partial Fisher–Yates over the *virtual* array
+/// `complement()[0..len]`, tracking only the O(m) displaced positions
+/// in a map and resolving untouched positions with
+/// [`View::nth_absent`]. Consumes the identical RNG sequence (one
+/// `gen_index(len - i)` per pick) and returns the identical picks as
+/// the materializing variants, for any view.
+pub fn select_from_complement_indexed(view: &View, m: usize, rng: &mut SimRng) -> Vec<PeerId> {
+    let len = view.absent_count();
+    let k = m.min(len);
+    // Position → occupant, for the positions a swap has displaced; all
+    // other positions still hold their original complement element.
+    let mut moved: HashMap<usize, PeerId> = HashMap::with_capacity(k);
+    let at = |moved: &HashMap<usize, PeerId>, x: usize| {
+        moved.get(&x).copied().unwrap_or_else(|| view.nth_absent(x))
+    };
+    let mut picked = Vec::with_capacity(k);
+    for i in 0..k {
+        let j = i + rng.gen_index(len - i);
+        let val_j = at(&moved, j);
+        // swap(i, j): position i is never read again (future reads are
+        // at indices > i), so only j's new occupant needs recording.
+        let val_i = at(&moved, i);
+        moved.insert(j, val_i);
+        picked.push(val_j);
+    }
+    picked
 }
 
 /// Pluggable selection policy.
@@ -176,6 +223,47 @@ mod tests {
         }
         // Streams stay aligned after interleaved use.
         assert_eq!(a.gen_index(1000), b.gen_index(1000));
+    }
+
+    #[test]
+    fn indexed_variant_draws_identically() {
+        // The indexed draw must be indistinguishable from the
+        // materializing one: same RNG consumption, same picks — for
+        // sparse, runs-shaped, and fragmented views alike.
+        let shapes = [
+            view_with(20, &[0, 3, 7, 11]),
+            view_with(20, &[]),
+            view_with(300, &(0..150).collect::<Vec<_>>()),
+            view_with(300, &(0..300).step_by(2).collect::<Vec<_>>()),
+            view_with(257, &(0..257).step_by(97).collect::<Vec<_>>()),
+        ];
+        for (s, v) in shapes.iter().enumerate() {
+            let mut a = SimRng::new(9000 + s as u64);
+            let mut b = SimRng::new(9000 + s as u64);
+            let mut pool = Vec::new();
+            for m in [0, 1, 3, 8, 1000] {
+                let reference = select_from_complement_with(v, m, &mut a, &mut pool);
+                let indexed = select_from_complement_indexed(v, m, &mut b);
+                assert_eq!(indexed, reference, "shape {s}, m={m}");
+            }
+            assert_eq!(a.gen_index(1000), b.gen_index(1000), "stream alignment");
+        }
+    }
+
+    #[test]
+    fn large_complement_dispatches_without_materializing() {
+        // Above the threshold the pooled entry point must leave the
+        // scratch empty (nothing materialized) and still match the
+        // indexed draw.
+        let v = view_with(10_000, &[5, 9_000]);
+        let mut a = SimRng::new(77);
+        let mut b = SimRng::new(77);
+        let mut pool = vec![PeerId(1); 3];
+        let picked = select_from_complement_with(&v, 8, &mut a, &mut pool);
+        assert!(pool.is_empty(), "pool must not be materialized at scale");
+        assert_eq!(picked, select_from_complement_indexed(&v, 8, &mut b));
+        assert_eq!(picked.len(), 8);
+        assert!(picked.iter().all(|p| !v.contains(*p)));
     }
 
     #[test]

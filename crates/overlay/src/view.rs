@@ -1,38 +1,174 @@
 //! Peer views (`VW_i` in the paper).
 //!
 //! Each contents peer tracks which peers it perceives to be active as a
-//! bit vector over the contents-peer set. Views travel inside control
+//! set over the contents-peer ids `0..n`. Views travel inside control
 //! packets and merge by union; a peer whose view is full (`|VW_i| = n`)
 //! stops selecting children — this is the termination condition of both
 //! DCoP and TCoP.
+//!
+//! # Adaptive representation
+//!
+//! The seed stored every view as a fixed `n`-bit bitmap, which makes a
+//! single peer's state O(n) bytes and a population of `n` peers O(n²) —
+//! the reason n = 10⁶ worlds did not fit in memory. A [`View`] now
+//! self-selects among three representations as it grows:
+//!
+//! - **Sparse** — sorted member ids; O(4·|set|) bytes. Coordination
+//!   views are almost always here: a DCoP/TCoP view contains the
+//!   activation path plus one fan-out, ~`depth · H` members regardless
+//!   of `n`.
+//! - **Runs** — sorted disjoint `[start, end)` ranges; O(8·runs) bytes.
+//!   Chosen when the member set is contiguous (e.g. [`View::full`], or
+//!   range-shaped unions from the membership layer).
+//! - **Dense** — the seed's `n`-bit bitmap, O(n/8) bytes. The terminal
+//!   representation once a view holds a constant fraction of the
+//!   population (small-n sessions approaching termination).
+//!
+//! Every operation is observably identical across representations —
+//! same membership, same ascending iteration and complement order, same
+//! `insert`/`union_with` return values — so seeded runs are bit-for-bit
+//! independent of which representation a view happens to be in (pinned
+//! by the equivalence property tests in `tests/properties.rs`).
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::peer::PeerId;
 
-/// A set of contents peers, represented as a bit vector over `0..n`.
-#[derive(Clone, PartialEq, Eq, Hash)]
+/// A maximal run of members, half-open: `start..end`.
+pub type Run = (u32, u32);
+
+/// Sparse views promote once they exceed this many members *and* the
+/// sorted-id form outweighs the bitmap (`4·len > n/8`). The floor keeps
+/// tiny populations in the cheap sorted form.
+fn sparse_cap(n: usize) -> usize {
+    (n / 32).max(16)
+}
+
+/// Runs convert to the bitmap once `8·runs > n/8` — the range form has
+/// lost to fragmentation.
+fn runs_cap(n: usize) -> usize {
+    (n / 64).max(4)
+}
+
+/// Populations this small start dense and never leave: the bitmap is at
+/// most 512 bytes, and small-world sessions push every view toward full
+/// within a few rounds, so the sorted-insert churn and promotion copies
+/// of the sparse form would all be paid for nothing on the hottest
+/// simulation path. Representation choice is unobservable (see the
+/// module docs), so this is purely a time/space knob.
+const DENSE_START_MAX_N: usize = 4096;
+
+#[derive(Clone)]
+enum Repr {
+    /// Sorted, distinct member ids.
+    Sparse(Vec<u32>),
+    /// Sorted, disjoint, non-adjacent `[start, end)` ranges.
+    Runs(Vec<Run>),
+    /// Bit per id, LSB-first within each word.
+    Dense(Vec<u64>),
+}
+
+/// A set of contents peers over the population `0..n`, adaptively
+/// represented (see the module docs).
 pub struct View {
-    words: Vec<u64>,
+    repr: Repr,
+    len: usize,
     n: usize,
+    /// One-slot cache of the adaptive wire encoding this view would
+    /// frame as: packed `(count+1) << 32 | tag << 30 | frame_len`, zero
+    /// when unset. Validity is keyed on the member count alone, which
+    /// is sound because views only grow — any mutation that changes the
+    /// set changes `count`, and representation conversions never change
+    /// the chosen encoding (it is computed from the representation-
+    /// independent iterators). Relaxed ordering suffices: the cache is
+    /// a hint, and a racing recompute stores the same value. Views are
+    /// `Arc`-shared across a fan-out and re-measured on every hop the
+    /// simulator accounts, so this turns O(|view|) per message into
+    /// O(|view|) per snapshot.
+    wire_cache: AtomicU64,
+}
+
+impl Clone for View {
+    fn clone(&self) -> View {
+        View {
+            repr: self.repr.clone(),
+            len: self.len,
+            n: self.n,
+            // Same set, same encoding — the cache stays valid.
+            wire_cache: AtomicU64::new(self.wire_cache.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl View {
     /// The empty view over a population of `n` peers.
     pub fn empty(n: usize) -> View {
         View {
-            words: vec![0; n.div_ceil(64)],
+            repr: if n <= DENSE_START_MAX_N {
+                Repr::Dense(vec![0u64; n.div_ceil(64)])
+            } else {
+                Repr::Sparse(Vec::new())
+            },
+            len: 0,
             n,
+            wire_cache: AtomicU64::new(0),
         }
     }
 
-    /// The full view (every peer perceived active).
+    /// The full view (every peer perceived active) — a single run, not
+    /// an `n`-bit bitmap.
     pub fn full(n: usize) -> View {
-        let mut v = View::empty(n);
-        for i in 0..n {
-            v.insert(PeerId(i as u32));
+        View {
+            repr: if n == 0 {
+                Repr::Runs(Vec::new())
+            } else {
+                Repr::Runs(vec![(0, n as u32)])
+            },
+            len: n,
+            n,
+            wire_cache: AtomicU64::new(0),
         }
+    }
+
+    /// A view from ids that are already sorted and distinct.
+    ///
+    /// # Panics
+    /// If `ids` is unsorted, has duplicates, or exceeds the population.
+    pub fn from_sorted_ids(n: usize, ids: Vec<u32>) -> View {
+        assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "ids must be sorted and distinct"
+        );
+        if let Some(&last) = ids.last() {
+            assert!((last as usize) < n, "peer CP{last} out of view range {n}");
+        }
+        let mut v = View {
+            len: ids.len(),
+            repr: Repr::Sparse(ids),
+            n,
+            wire_cache: AtomicU64::new(0),
+        };
+        v.maybe_promote_sparse();
         v
+    }
+
+    /// Cached `(tag, frame_len)` of the adaptive wire encoding, if one
+    /// was stored for the current member count. For `crate::wire` only.
+    pub(crate) fn cached_wire(&self) -> Option<(u8, usize)> {
+        let v = self.wire_cache.load(Ordering::Relaxed);
+        ((v >> 32) == self.len as u64 + 1)
+            .then_some((((v >> 30) & 0b11) as u8, (v & ((1 << 30) - 1)) as usize))
+    }
+
+    /// Store the adaptive encoding decision for the current member
+    /// count. Out-of-range values (absurd populations) stay uncached.
+    pub(crate) fn store_cached_wire(&self, tag: u8, frame_len: usize) {
+        if frame_len < (1 << 30) && self.len < u32::MAX as usize {
+            let v = ((self.len as u64 + 1) << 32) | ((tag as u64) << 30) | frame_len as u64;
+            self.wire_cache.store(v, Ordering::Relaxed);
+        }
     }
 
     /// Population size `n` this view ranges over.
@@ -44,43 +180,246 @@ impl View {
     pub fn insert(&mut self, peer: PeerId) -> bool {
         let i = peer.index();
         assert!(i < self.n, "peer {peer} out of view range {}", self.n);
-        let (w, b) = (i / 64, i % 64);
-        let newly = self.words[w] & (1 << b) == 0;
-        self.words[w] |= 1 << b;
+        self.insert_id(i as u32)
+    }
+
+    fn insert_id(&mut self, i: u32) -> bool {
+        let newly = match &mut self.repr {
+            Repr::Sparse(ids) => match ids.binary_search(&i) {
+                Ok(_) => false,
+                Err(at) => {
+                    ids.insert(at, i);
+                    true
+                }
+            },
+            Repr::Runs(runs) => insert_into_runs(runs, i, i + 1) == 1,
+            Repr::Dense(words) => {
+                let (w, b) = (i as usize / 64, i % 64);
+                let newly = words[w] & (1 << b) == 0;
+                words[w] |= 1 << b;
+                newly
+            }
+        };
+        if newly {
+            self.len += 1;
+            self.after_growth();
+        }
         newly
+    }
+
+    /// Insert the whole range `start..end`, returning how many ids were
+    /// new. Ranges outside the population panic like [`View::insert`].
+    pub(crate) fn insert_run(&mut self, start: u32, end: u32) -> usize {
+        if start >= end {
+            return 0;
+        }
+        assert!(
+            end as usize <= self.n,
+            "peer CP{} out of view range {}",
+            end - 1,
+            self.n
+        );
+        let added = match &mut self.repr {
+            Repr::Sparse(_) if (end - start) <= 32 => {
+                let mut added = 0;
+                for i in start..end {
+                    if self.insert_id(i) {
+                        added += 1;
+                    }
+                }
+                // insert_id already maintained len + promotion.
+                return added;
+            }
+            Repr::Sparse(_) => {
+                self.make_runs();
+                return self.insert_run(start, end);
+            }
+            Repr::Runs(runs) => insert_into_runs(runs, start, end),
+            Repr::Dense(words) => {
+                let mut added = 0;
+                for i in start..end {
+                    let (w, b) = (i as usize / 64, i % 64);
+                    if words[w] & (1 << b) == 0 {
+                        words[w] |= 1 << b;
+                        added += 1;
+                    }
+                }
+                added
+            }
+        };
+        self.len += added;
+        self.after_growth();
+        added
+    }
+
+    /// Repr policy after an insertion made the view bigger.
+    fn after_growth(&mut self) {
+        match &self.repr {
+            Repr::Sparse(ids) if ids.len() > sparse_cap(self.n) => self.maybe_promote_sparse(),
+            Repr::Runs(runs) if runs.len() > runs_cap(self.n) => self.make_dense(),
+            _ => {}
+        }
+    }
+
+    /// An over-cap sparse view becomes runs when contiguous enough,
+    /// otherwise the bitmap.
+    fn maybe_promote_sparse(&mut self) {
+        let Repr::Sparse(ids) = &self.repr else {
+            return;
+        };
+        if ids.len() <= sparse_cap(self.n) {
+            return;
+        }
+        let runs = count_runs(ids);
+        if 8 * runs <= self.n / 16 {
+            self.make_runs();
+        } else {
+            self.make_dense();
+        }
+    }
+
+    fn make_runs(&mut self) {
+        if let Repr::Sparse(ids) = &self.repr {
+            let mut runs: Vec<Run> = Vec::with_capacity(count_runs(ids));
+            for &i in ids {
+                match runs.last_mut() {
+                    Some((_, e)) if *e == i => *e = i + 1,
+                    _ => runs.push((i, i + 1)),
+                }
+            }
+            self.repr = Repr::Runs(runs);
+        }
+    }
+
+    fn make_dense(&mut self) {
+        let mut words = vec![0u64; self.n.div_ceil(64)];
+        match &self.repr {
+            Repr::Sparse(ids) => {
+                for &i in ids {
+                    words[i as usize / 64] |= 1 << (i % 64);
+                }
+            }
+            Repr::Runs(runs) => {
+                for &(s, e) in runs {
+                    for i in s..e {
+                        words[i as usize / 64] |= 1 << (i % 64);
+                    }
+                }
+            }
+            Repr::Dense(_) => return,
+        }
+        self.repr = Repr::Dense(words);
     }
 
     /// True if `peer` is in the view.
     pub fn contains(&self, peer: PeerId) -> bool {
         let i = peer.index();
-        i < self.n && self.words[i / 64] & (1 << (i % 64)) != 0
+        if i >= self.n {
+            return false;
+        }
+        let i = i as u32;
+        match &self.repr {
+            Repr::Sparse(ids) => ids.binary_search(&i).is_ok(),
+            Repr::Runs(runs) => {
+                let at = runs.partition_point(|&(s, _)| s <= i);
+                at > 0 && i < runs[at - 1].1
+            }
+            Repr::Dense(words) => words[i as usize / 64] & (1 << (i % 64)) != 0,
+        }
     }
 
     /// `|VW|`: number of peers in the view.
     pub fn count(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        self.len
+    }
+
+    /// Number of peers *not* in the view (the complement's size).
+    pub fn absent_count(&self) -> usize {
+        self.n - self.len
     }
 
     /// True when every peer is in the view (`|VW_i| = n`).
     pub fn is_full(&self) -> bool {
-        self.count() == self.n
+        self.len == self.n
     }
 
     /// `VW_i := VW_i ∪ other`. Returns the number of newly added peers.
     pub fn union_with(&mut self, other: &View) -> usize {
         assert_eq!(self.n, other.n, "views over different populations");
-        let before = self.count();
-        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
-            *a |= b;
+        let before = self.len;
+        match &other.repr {
+            Repr::Sparse(ids) => {
+                for &i in ids {
+                    self.insert_id(i);
+                }
+            }
+            Repr::Runs(runs) => {
+                for &(s, e) in runs {
+                    self.insert_run(s, e);
+                }
+            }
+            Repr::Dense(ow) => {
+                // A dense peer holds a constant fraction of the
+                // population; the union will too.
+                self.make_dense();
+                let Repr::Dense(words) = &mut self.repr else {
+                    unreachable!()
+                };
+                let mut count = 0usize;
+                for (a, b) in words.iter_mut().zip(ow.iter()) {
+                    *a |= b;
+                    count += a.count_ones() as usize;
+                }
+                self.len = count;
+            }
         }
-        self.count() - before
+        self.len - before
+    }
+
+    /// Member ids of `self` that are absent from `base`, ascending —
+    /// the additions a delta-coded piggyback ships (see
+    /// [`crate::wire`]). Views only ever grow, so against an earlier
+    /// snapshot of the same peer's view this *is* the symmetric
+    /// difference.
+    pub fn diff_ids(&self, base: &View) -> Vec<u32> {
+        self.iter()
+            .filter(|p| !base.contains(*p))
+            .map(|p| p.0)
+            .collect()
     }
 
     /// Iterate over members in ascending id order.
-    pub fn iter(&self) -> impl Iterator<Item = PeerId> + '_ {
-        (0..self.n)
-            .map(|i| PeerId(i as u32))
-            .filter(move |p| self.contains(*p))
+    pub fn iter(&self) -> ViewIter<'_> {
+        ViewIter {
+            inner: match &self.repr {
+                Repr::Sparse(ids) => IterInner::Sparse(ids.iter()),
+                Repr::Runs(runs) => IterInner::Runs {
+                    runs: runs.iter(),
+                    cur: 0..0,
+                },
+                Repr::Dense(words) => IterInner::Dense {
+                    words,
+                    word_idx: 0,
+                    word: words.first().copied().unwrap_or(0),
+                },
+            },
+        }
+    }
+
+    /// Iterate over maximal member runs (`[start, end)`), ascending,
+    /// independent of representation — the wire encoders size the
+    /// run-length form with this.
+    pub fn runs(&self) -> RunsIter<'_> {
+        RunsIter {
+            inner: match &self.repr {
+                Repr::Sparse(ids) => RunsInner::Sparse(ids),
+                Repr::Runs(runs) => RunsInner::Runs(runs.iter()),
+                Repr::Dense(_) => RunsInner::Iter {
+                    it: self.iter(),
+                    pending: None,
+                },
+            },
+        }
     }
 
     /// Peers *not* in the view, ascending — the candidate pool for
@@ -97,11 +436,252 @@ impl View {
     /// avoids an allocation per `Select`.
     pub fn complement_into(&self, out: &mut Vec<PeerId>) {
         out.clear();
-        out.extend(
-            (0..self.n)
-                .map(|i| PeerId(i as u32))
-                .filter(|p| !self.contains(*p)),
-        );
+        out.reserve(self.absent_count());
+        match &self.repr {
+            Repr::Sparse(ids) => {
+                let mut next = 0u32;
+                for &i in ids {
+                    out.extend((next..i).map(PeerId));
+                    next = i + 1;
+                }
+                out.extend((next..self.n as u32).map(PeerId));
+            }
+            Repr::Runs(runs) => {
+                let mut next = 0u32;
+                for &(s, e) in runs {
+                    out.extend((next..s).map(PeerId));
+                    next = e;
+                }
+                out.extend((next..self.n as u32).map(PeerId));
+            }
+            Repr::Dense(words) => {
+                for (w, &word) in words.iter().enumerate() {
+                    let base = (w * 64) as u32;
+                    let top = (self.n as u32 - base).min(64);
+                    let mut absent = !word;
+                    if top < 64 {
+                        absent &= (1u64 << top) - 1;
+                    }
+                    while absent != 0 {
+                        let b = absent.trailing_zeros();
+                        out.push(PeerId(base + b));
+                        absent &= absent - 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The `k`-th (0-based) peer **not** in the view, in ascending id
+    /// order — `complement()[k]` without materializing the complement.
+    /// O(log |set|) for sparse/runs views, O(n/64) for dense ones; lets
+    /// `Select` draw from a 10⁶-peer population without an O(n) pool
+    /// walk per selection (see [`crate::select`]).
+    ///
+    /// # Panics
+    /// If `k >= absent_count()`.
+    pub fn nth_absent(&self, k: usize) -> PeerId {
+        assert!(k < self.absent_count(), "complement index out of range");
+        match &self.repr {
+            Repr::Sparse(ids) => {
+                // f(idx) = ids[idx] - idx = absent ids below ids[idx],
+                // non-decreasing; the answer sits after the members
+                // whose f is ≤ k.
+                let mut lo = 0usize;
+                let mut hi = ids.len();
+                while lo < hi {
+                    let mid = (lo + hi) / 2;
+                    if ids[mid] as usize - mid <= k {
+                        lo = mid + 1;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                PeerId((k + lo) as u32)
+            }
+            Repr::Runs(runs) => {
+                let mut members_before = 0usize;
+                for &(s, e) in runs {
+                    if (s as usize) - members_before > k {
+                        break;
+                    }
+                    members_before += (e - s) as usize;
+                }
+                PeerId((k + members_before) as u32)
+            }
+            Repr::Dense(words) => {
+                let mut remaining = k;
+                for (w, &word) in words.iter().enumerate() {
+                    let base = w * 64;
+                    let top = (self.n - base).min(64) as u32;
+                    let mut absent = !word;
+                    if top < 64 {
+                        absent &= (1u64 << top) - 1;
+                    }
+                    let zeros = absent.count_ones() as usize;
+                    if remaining < zeros {
+                        let mut a = absent;
+                        for _ in 0..remaining {
+                            a &= a - 1;
+                        }
+                        return PeerId(base as u32 + a.trailing_zeros());
+                    }
+                    remaining -= zeros;
+                }
+                unreachable!("k checked against absent_count")
+            }
+        }
+    }
+}
+
+/// `start..end` interval insertion into a sorted disjoint run list,
+/// merging neighbors; returns how many ids were new.
+fn insert_into_runs(runs: &mut Vec<Run>, start: u32, end: u32) -> usize {
+    // First run that could overlap or touch [start, end).
+    let lo = runs.partition_point(|&(_, e)| e < start);
+    // One past the last run that could overlap or touch.
+    let hi = runs.partition_point(|&(s, _)| s <= end);
+    if lo == hi {
+        runs.insert(lo, (start, end));
+        return (end - start) as usize;
+    }
+    let new_s = runs[lo].0.min(start);
+    let new_e = runs[hi - 1].1.max(end);
+    let absorbed: usize = runs[lo..hi].iter().map(|&(s, e)| (e - s) as usize).sum();
+    runs.splice(lo..hi, std::iter::once((new_s, new_e)));
+    (new_e - new_s) as usize - absorbed
+}
+
+/// Maximal runs in a sorted distinct id list.
+fn count_runs(ids: &[u32]) -> usize {
+    let mut runs = 0;
+    let mut prev = u32::MAX;
+    for &i in ids {
+        if prev == u32::MAX || i != prev + 1 {
+            runs += 1;
+        }
+        prev = i;
+    }
+    runs
+}
+
+/// Ascending member iterator over any representation.
+pub struct ViewIter<'a> {
+    inner: IterInner<'a>,
+}
+
+enum IterInner<'a> {
+    Sparse(std::slice::Iter<'a, u32>),
+    Runs {
+        runs: std::slice::Iter<'a, Run>,
+        cur: std::ops::Range<u32>,
+    },
+    Dense {
+        words: &'a [u64],
+        word_idx: usize,
+        word: u64,
+    },
+}
+
+impl Iterator for ViewIter<'_> {
+    type Item = PeerId;
+
+    fn next(&mut self) -> Option<PeerId> {
+        match &mut self.inner {
+            IterInner::Sparse(it) => it.next().map(|&i| PeerId(i)),
+            IterInner::Runs { runs, cur } => loop {
+                if let Some(i) = cur.next() {
+                    return Some(PeerId(i));
+                }
+                let &(s, e) = runs.next()?;
+                *cur = s..e;
+            },
+            IterInner::Dense {
+                words,
+                word_idx,
+                word,
+            } => loop {
+                if *word != 0 {
+                    let b = word.trailing_zeros();
+                    *word &= *word - 1;
+                    return Some(PeerId((*word_idx * 64) as u32 + b));
+                }
+                *word_idx += 1;
+                *word = *words.get(*word_idx)?;
+            },
+        }
+    }
+}
+
+/// Ascending maximal-run iterator over any representation.
+pub struct RunsIter<'a> {
+    inner: RunsInner<'a>,
+}
+
+enum RunsInner<'a> {
+    Sparse(&'a [u32]),
+    Runs(std::slice::Iter<'a, Run>),
+    Iter {
+        it: ViewIter<'a>,
+        pending: Option<Run>,
+    },
+}
+
+impl Iterator for RunsIter<'_> {
+    type Item = Run;
+
+    fn next(&mut self) -> Option<Run> {
+        match &mut self.inner {
+            RunsInner::Sparse(ids) => {
+                let (&first, rest) = ids.split_first()?;
+                let mut end = first + 1;
+                let mut used = 0;
+                for &i in rest {
+                    if i != end {
+                        break;
+                    }
+                    end = i + 1;
+                    used += 1;
+                }
+                *ids = &rest[used..];
+                Some((first, end))
+            }
+            RunsInner::Runs(it) => it.next().copied(),
+            RunsInner::Iter { it, pending } => {
+                for p in it.by_ref() {
+                    match pending {
+                        Some((_, e)) if *e == p.0 => *e = p.0 + 1,
+                        Some(run) => {
+                            let done = *run;
+                            *pending = Some((p.0, p.0 + 1));
+                            return Some(done);
+                        }
+                        None => *pending = Some((p.0, p.0 + 1)),
+                    }
+                }
+                pending.take()
+            }
+        }
+    }
+}
+
+impl PartialEq for View {
+    /// Set equality: same population, same members — representation-
+    /// independent (a sparse and a dense view of the same set are equal).
+    fn eq(&self, other: &View) -> bool {
+        self.n == other.n && self.len == other.len && self.runs().eq(other.runs())
+    }
+}
+
+impl Eq for View {}
+
+impl Hash for View {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.n.hash(state);
+        self.len.hash(state);
+        for run in self.runs() {
+            run.hash(state);
+        }
     }
 }
 
@@ -190,5 +770,191 @@ mod tests {
             assert_eq!(f.count(), n, "n={n}");
             assert!(f.is_full());
         }
+    }
+
+    /// The seed's fixed-bitmap behavior, as a reference model.
+    struct BitModel {
+        bits: Vec<bool>,
+    }
+
+    impl BitModel {
+        fn new(n: usize) -> BitModel {
+            BitModel {
+                bits: vec![false; n],
+            }
+        }
+        fn insert(&mut self, i: u32) -> bool {
+            let newly = !self.bits[i as usize];
+            self.bits[i as usize] = true;
+            newly
+        }
+        fn members(&self) -> Vec<u32> {
+            (0..self.bits.len() as u32)
+                .filter(|&i| self.bits[i as usize])
+                .collect()
+        }
+    }
+
+    fn assert_matches_model(v: &View, m: &BitModel) {
+        let members = m.members();
+        assert_eq!(v.count(), members.len());
+        assert_eq!(
+            v.iter().map(|p| p.0).collect::<Vec<_>>(),
+            members,
+            "iteration order/content"
+        );
+        let complement: Vec<u32> = (0..m.bits.len() as u32)
+            .filter(|&i| !m.bits[i as usize])
+            .collect();
+        assert_eq!(
+            v.complement().iter().map(|p| p.0).collect::<Vec<_>>(),
+            complement
+        );
+        for (k, &c) in complement.iter().enumerate() {
+            assert_eq!(v.nth_absent(k), PeerId(c), "nth_absent({k})");
+        }
+        for i in 0..m.bits.len() as u32 {
+            assert_eq!(v.contains(PeerId(i)), m.bits[i as usize], "contains({i})");
+        }
+        // Runs round-trip the member set.
+        let from_runs: Vec<u32> = v.runs().flat_map(|(s, e)| s..e).collect();
+        assert_eq!(from_runs, members);
+    }
+
+    /// Drive a view across every representation boundary and compare
+    /// against the reference bitmap after each step.
+    #[test]
+    fn growth_through_all_representations_matches_bitmap_model() {
+        let n = 4096;
+        let mut v = View::empty(n);
+        let mut m = BitModel::new(n);
+        // A deterministic scatter that first stays sparse, then gets
+        // contiguous (runs), then fragments (dense).
+        let mut ids: Vec<u32> = (0..n as u32).step_by(97).collect(); // sparse
+        ids.extend(500..900); // a big run
+        ids.extend((0..n as u32).step_by(3)); // fragmentation
+        for i in ids {
+            assert_eq!(v.insert(PeerId(i)), m.insert(i), "insert({i}) novelty");
+        }
+        assert_matches_model(&v, &m);
+    }
+
+    #[test]
+    fn union_across_representations_matches_bitmap_model() {
+        let n = 512;
+        for (a_ids, b_ids) in [
+            // sparse ∪ sparse
+            (vec![1u32, 5, 9], vec![5u32, 6, 300]),
+            // sparse ∪ runs(full-ish)
+            (vec![3u32, 400], (0..256u32).collect::<Vec<_>>()),
+            // runs ∪ dense-shaped scatter
+            (
+                (100..400u32).collect::<Vec<_>>(),
+                (0..512u32).step_by(2).collect::<Vec<_>>(),
+            ),
+        ] {
+            let mut a = View::empty(n);
+            let mut m = BitModel::new(n);
+            for &i in &a_ids {
+                a.insert(PeerId(i));
+                m.insert(i);
+            }
+            let mut b = View::empty(n);
+            for &i in &b_ids {
+                b.insert(PeerId(i));
+            }
+            let expected_new = b_ids.iter().filter(|&&i| m.insert(i)).count();
+            assert_eq!(a.union_with(&b), expected_new);
+            assert_matches_model(&a, &m);
+        }
+    }
+
+    #[test]
+    fn equality_and_hash_are_representation_independent() {
+        use std::collections::hash_map::DefaultHasher;
+        let n = 256;
+        // Same set, three ways: inserted ascending (promotes to runs),
+        // via full(), and forced dense by fragmentation then filling.
+        let mut a = View::empty(n);
+        for i in 0..n as u32 {
+            a.insert(PeerId(i));
+        }
+        let b = View::full(n);
+        let mut c = View::empty(n);
+        for i in (0..n as u32).step_by(2) {
+            c.insert(PeerId(i));
+        }
+        for i in (1..n as u32).step_by(2) {
+            c.insert(PeerId(i));
+        }
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        let h = |v: &View| {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&a), h(&b));
+        assert_eq!(h(&b), h(&c));
+        // And unequal sets stay unequal.
+        let mut d = View::full(n);
+        assert_eq!(d.count(), n);
+        let e = View::empty(n);
+        assert_ne!(d, e);
+        d = View::empty(n);
+        d.insert(PeerId(7));
+        let mut f = View::empty(n);
+        f.insert(PeerId(8));
+        assert_ne!(d, f);
+    }
+
+    #[test]
+    fn from_sorted_ids_matches_inserts() {
+        let v = View::from_sorted_ids(100, vec![2, 3, 4, 50]);
+        let mut w = View::empty(100);
+        for i in [2, 3, 4, 50] {
+            w.insert(PeerId(i));
+        }
+        assert_eq!(v, w);
+        assert_eq!(v.count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and distinct")]
+    fn from_unsorted_ids_panics() {
+        View::from_sorted_ids(10, vec![3, 1]);
+    }
+
+    #[test]
+    fn diff_ids_is_the_growth() {
+        let mut base = View::empty(50);
+        base.insert(PeerId(1));
+        base.insert(PeerId(9));
+        let mut grown = base.clone();
+        grown.insert(PeerId(4));
+        grown.insert(PeerId(30));
+        assert_eq!(grown.diff_ids(&base), vec![4, 30]);
+        assert_eq!(base.diff_ids(&base), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn nth_absent_full_and_empty_edges() {
+        let v = View::empty(5);
+        for k in 0..5 {
+            assert_eq!(v.nth_absent(k), PeerId(k as u32));
+        }
+        let mut w = View::full(5);
+        assert_eq!(w.absent_count(), 0);
+        w = View::empty(5);
+        w.insert(PeerId(0));
+        w.insert(PeerId(4));
+        assert_eq!(w.nth_absent(0), PeerId(1));
+        assert_eq!(w.nth_absent(2), PeerId(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "complement index out of range")]
+    fn nth_absent_out_of_range_panics() {
+        View::full(4).nth_absent(0);
     }
 }

@@ -1,0 +1,587 @@
+//! Compact wire encodings for [`View`] piggybacks.
+//!
+//! The seed shipped every view as a fixed `[n: u32][n-bit bitmap]`
+//! frame — O(n/8) bytes per control message, which caps a live
+//! `Control` datagram near n ≈ 4·10³ (64 KiB UDP limit) and dominates
+//! simulated control-byte accounting. This module defines a
+//! self-describing frame that mirrors the adaptive in-memory
+//! representation: the encoder measures all three set encodings and
+//! emits the smallest, so a frame costs O(min(n/8, 5·|set|)) bytes.
+//!
+//! # Frame format
+//!
+//! ```text
+//! frame   := [hdr: u8] [n: varint] [body]
+//! hdr     := VERSION << 4 | tag
+//! tag 0   := dense  — ceil(n/8) bitmap bytes, LSB-first (seed layout)
+//! tag 1   := sparse — [count: varint] [gap: varint]×count
+//!            id_0 = gap_0, id_i = id_{i-1} + 1 + gap_i
+//! tag 2   := runs   — [runs: varint] ([gap: varint][len1: varint])×runs
+//!            start = prev_end + gap, end = start + len1 + 1
+//! tag 3   := delta  — [base_count: varint] [adds: varint]
+//!            [gap: varint]×adds   (gap scheme as sparse)
+//! ```
+//!
+//! Varints are LEB128 (7 bits per byte, little-endian groups). The
+//! version nibble rejects frames from incompatible peers outright.
+//!
+//! Tags 0–2 are interchangeable *set* encodings: decoding any of them
+//! yields the same [`View`], and re-encoding is deterministic (smallest
+//! form, lowest tag on ties), so encode → decode → encode is
+//! byte-stable. Tag 3 carries only the ids a peer's view gained since a
+//! per-edge snapshot (`base_count` names the snapshot's size as a
+//! cheap consistency check); views are grow-only, so the additions are
+//! the full symmetric difference. Epochs that pair full frames with
+//! deltas live one layer up, next to the frame (see `mss-net`'s codec
+//! and the delta tracker in `mss-core`).
+
+use bytes::BufMut;
+
+use crate::peer::PeerId;
+use crate::view::View;
+
+/// Version of the view frame format, carried in the header's high
+/// nibble. Bump on any incompatible layout change.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Set-encoding tags (header low nibble).
+pub const TAG_DENSE: u8 = 0;
+/// Sorted-id varint list tag.
+pub const TAG_SPARSE: u8 = 1;
+/// Run-length ranges tag.
+pub const TAG_RUNS: u8 = 2;
+/// Delta (additions against a per-edge snapshot) tag.
+pub const TAG_DELTA: u8 = 3;
+
+/// Decoding failure. Mirrors the codec's discipline: corrupt input is
+/// an error, never a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Frame ends before the encoding says it should.
+    Truncated,
+    /// Header version nibble differs from [`WIRE_VERSION`].
+    BadVersion(u8),
+    /// Unknown tag nibble.
+    BadTag(u8),
+    /// Structurally invalid body: ids out of range, counts exceeding
+    /// the population, varint overflow, or a population above the
+    /// caller's cap.
+    BadEncoding,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "view frame truncated"),
+            WireError::BadVersion(v) => write!(f, "view frame version {v} unsupported"),
+            WireError::BadTag(t) => write!(f, "unknown view frame tag {t}"),
+            WireError::BadEncoding => write!(f, "malformed view frame body"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A decoded view frame: either a complete set or a delta to apply
+/// against a previously received set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViewFrame {
+    /// Tags 0–2: the full member set.
+    Set(View),
+    /// Tag 3: ids added since the sender's per-edge snapshot.
+    Delta {
+        /// Population size the delta ranges over.
+        n: usize,
+        /// `|snapshot|` at the sender — receivers reject the delta (and
+        /// fall back to additions-only merge) if their cached base
+        /// doesn't match.
+        base_count: usize,
+        /// Newly added member ids, ascending.
+        additions: Vec<u32>,
+    },
+}
+
+/// LEB128 length of `x`.
+pub fn varint_len(x: u64) -> usize {
+    ((64 - (x | 1).leading_zeros()) as usize).div_ceil(7)
+}
+
+fn put_varint(out: &mut impl BufMut, mut x: u64) {
+    while x >= 0x80 {
+        out.put_u8((x as u8 & 0x7f) | 0x80);
+        x >>= 7;
+    }
+    out.put_u8(x as u8);
+}
+
+fn get_varint(buf: &[u8], at: &mut usize) -> Result<u64, WireError> {
+    let mut x = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *buf.get(*at).ok_or(WireError::Truncated)?;
+        *at += 1;
+        if shift == 63 && b > 1 {
+            return Err(WireError::BadEncoding);
+        }
+        x |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(x);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(WireError::BadEncoding);
+        }
+    }
+}
+
+/// Sum of the gap varints for a sorted id sequence (sparse/delta body
+/// minus its count field).
+fn gaps_len(ids: impl Iterator<Item = u32>) -> usize {
+    let mut prev: Option<u32> = None;
+    let mut total = 0;
+    for id in ids {
+        let gap = match prev {
+            None => id,
+            Some(p) => id - p - 1,
+        };
+        total += varint_len(u64::from(gap));
+        prev = Some(id);
+    }
+    total
+}
+
+fn put_gaps(out: &mut impl BufMut, ids: impl Iterator<Item = u32>) {
+    let mut prev: Option<u32> = None;
+    for id in ids {
+        let gap = match prev {
+            None => id,
+            Some(p) => id - p - 1,
+        };
+        put_varint(out, u64::from(gap));
+        prev = Some(id);
+    }
+}
+
+/// Body length of the dense encoding.
+fn dense_body_len(v: &View) -> usize {
+    v.population().div_ceil(8)
+}
+
+/// Body length of the sparse encoding.
+fn sparse_body_len(v: &View) -> usize {
+    varint_len(v.count() as u64) + gaps_len(v.iter().map(|p| p.0))
+}
+
+/// Body length of the runs encoding.
+fn runs_body_len(v: &View) -> usize {
+    let mut total = 0;
+    let mut count = 0u64;
+    let mut prev_end = 0u32;
+    for (s, e) in v.runs() {
+        total += varint_len(u64::from(s - prev_end)) + varint_len(u64::from(e - s - 1));
+        prev_end = e;
+        count += 1;
+    }
+    varint_len(count) + total
+}
+
+fn header_len(n: usize) -> usize {
+    1 + varint_len(n as u64)
+}
+
+/// Smallest body tag for `v` and its body length: the encoder's choice
+/// (ties go to the lowest tag).
+fn best_tag(v: &View) -> (u8, usize) {
+    let mut tag = TAG_DENSE;
+    let mut len = dense_body_len(v);
+    let sparse = sparse_body_len(v);
+    if sparse < len {
+        tag = TAG_SPARSE;
+        len = sparse;
+    }
+    let runs = runs_body_len(v);
+    if runs < len {
+        tag = TAG_RUNS;
+        len = runs;
+    }
+    (tag, len)
+}
+
+/// [`best_tag`] plus the header, through the view's one-slot cache:
+/// the O(|view|) walk over the members runs once per snapshot, not once
+/// per message that carries (or accounts for) it.
+fn cached_best_tag(v: &View) -> (u8, usize) {
+    if let Some(hit) = v.cached_wire() {
+        return hit;
+    }
+    let (tag, body) = best_tag(v);
+    let frame = header_len(v.population()) + body;
+    v.store_cached_wire(tag, frame);
+    (tag, frame)
+}
+
+/// Exact encoded size of `v` as [`encode_view`] would write it.
+pub fn encoded_len(v: &View) -> usize {
+    cached_best_tag(v).1
+}
+
+/// Exact encoded size of a delta frame carrying `additions`.
+pub fn delta_encoded_len(n: usize, base_count: usize, additions: &[u32]) -> usize {
+    header_len(n)
+        + varint_len(base_count as u64)
+        + varint_len(additions.len() as u64)
+        + gaps_len(additions.iter().copied())
+}
+
+/// Encode `v` in its smallest form. Exactly [`encoded_len`] bytes.
+pub fn encode_view(v: &View, out: &mut impl BufMut) {
+    match cached_best_tag(v).0 {
+        TAG_DENSE => encode_dense(v, out),
+        TAG_SPARSE => encode_sparse(v, out),
+        _ => encode_runs(v, out),
+    }
+}
+
+fn put_header(out: &mut impl BufMut, tag: u8, n: usize) {
+    out.put_u8((WIRE_VERSION << 4) | tag);
+    put_varint(out, n as u64);
+}
+
+/// Force the dense (seed-layout bitmap) encoding.
+pub fn encode_dense(v: &View, out: &mut impl BufMut) {
+    let n = v.population();
+    put_header(out, TAG_DENSE, n);
+    let mut bytes = vec![0u8; n.div_ceil(8)];
+    for p in v.iter() {
+        bytes[p.0 as usize / 8] |= 1 << (p.0 % 8);
+    }
+    out.put_slice(&bytes);
+}
+
+/// Force the sorted-id varint list encoding.
+pub fn encode_sparse(v: &View, out: &mut impl BufMut) {
+    put_header(out, TAG_SPARSE, v.population());
+    put_varint(out, v.count() as u64);
+    put_gaps(out, v.iter().map(|p| p.0));
+}
+
+/// Force the run-length ranges encoding.
+pub fn encode_runs(v: &View, out: &mut impl BufMut) {
+    put_header(out, TAG_RUNS, v.population());
+    let runs: Vec<(u32, u32)> = v.runs().collect();
+    put_varint(out, runs.len() as u64);
+    let mut prev_end = 0u32;
+    for (s, e) in runs {
+        put_varint(out, u64::from(s - prev_end));
+        put_varint(out, u64::from(e - s - 1));
+        prev_end = e;
+    }
+}
+
+/// Encode a delta frame: the ids (`additions`, ascending and distinct)
+/// a view gained since the snapshot of size `base_count`.
+pub fn encode_delta(n: usize, base_count: usize, additions: &[u32], out: &mut impl BufMut) {
+    debug_assert!(additions.windows(2).all(|w| w[0] < w[1]));
+    put_header(out, TAG_DELTA, n);
+    put_varint(out, base_count as u64);
+    put_varint(out, additions.len() as u64);
+    put_gaps(out, additions.iter().copied());
+}
+
+/// Decode one view frame from the front of `buf`. Returns the frame and
+/// the number of bytes consumed. `max_n` bounds the population a frame
+/// may claim (allocation guard against corrupt input).
+pub fn decode_view(buf: &[u8], max_n: usize) -> Result<(ViewFrame, usize), WireError> {
+    let mut at = 0usize;
+    let hdr = *buf.first().ok_or(WireError::Truncated)?;
+    at += 1;
+    let (version, tag) = (hdr >> 4, hdr & 0x0f);
+    if version != WIRE_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let n = get_varint(buf, &mut at)? as usize;
+    if n > max_n {
+        return Err(WireError::BadEncoding);
+    }
+    let frame = match tag {
+        TAG_DENSE => {
+            let nbytes = n.div_ceil(8);
+            let body = buf.get(at..at + nbytes).ok_or(WireError::Truncated)?;
+            at += nbytes;
+            let mut ids = Vec::new();
+            for (byte_idx, &b) in body.iter().enumerate() {
+                let mut bits = b;
+                while bits != 0 {
+                    let bit = bits.trailing_zeros();
+                    bits &= bits - 1;
+                    let id = (byte_idx * 8) as u32 + bit;
+                    if id as usize >= n {
+                        return Err(WireError::BadEncoding);
+                    }
+                    ids.push(id);
+                }
+            }
+            ViewFrame::Set(View::from_sorted_ids(n, ids))
+        }
+        TAG_SPARSE => {
+            let count = get_varint(buf, &mut at)? as usize;
+            let ids = get_ids(buf, &mut at, count, n)?;
+            ViewFrame::Set(View::from_sorted_ids(n, ids))
+        }
+        TAG_RUNS => {
+            let runs = get_varint(buf, &mut at)? as usize;
+            if runs > n {
+                return Err(WireError::BadEncoding);
+            }
+            let mut v = View::empty(n);
+            let mut prev_end = 0u64;
+            for _ in 0..runs {
+                let start = prev_end + get_varint(buf, &mut at)?;
+                let end = start + 1 + get_varint(buf, &mut at)?;
+                if end > n as u64 {
+                    return Err(WireError::BadEncoding);
+                }
+                v.insert_run(start as u32, end as u32);
+                prev_end = end;
+            }
+            ViewFrame::Set(v)
+        }
+        TAG_DELTA => {
+            let base_count = get_varint(buf, &mut at)? as usize;
+            if base_count > n {
+                return Err(WireError::BadEncoding);
+            }
+            let adds = get_varint(buf, &mut at)? as usize;
+            let additions = get_ids(buf, &mut at, adds, n)?;
+            ViewFrame::Delta {
+                n,
+                base_count,
+                additions,
+            }
+        }
+        t => return Err(WireError::BadTag(t)),
+    };
+    Ok((frame, at))
+}
+
+/// Read `count` gap-coded ascending ids bounded by population `n`.
+fn get_ids(buf: &[u8], at: &mut usize, count: usize, n: usize) -> Result<Vec<u32>, WireError> {
+    if count > n {
+        return Err(WireError::BadEncoding);
+    }
+    let mut ids = Vec::with_capacity(count);
+    let mut prev: Option<u64> = None;
+    for _ in 0..count {
+        let gap = get_varint(buf, at)?;
+        let id = match prev {
+            None => gap,
+            Some(p) => p + 1 + gap,
+        };
+        if id >= n as u64 {
+            return Err(WireError::BadEncoding);
+        }
+        ids.push(id as u32);
+        prev = Some(id);
+    }
+    Ok(ids)
+}
+
+/// Apply a decoded delta against the cached per-edge base view.
+pub fn apply_delta(base: &View, additions: &[u32]) -> View {
+    let mut v = base.clone();
+    for &id in additions {
+        v.insert(PeerId(id));
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view_of(n: usize, ids: &[u32]) -> View {
+        let mut v = View::empty(n);
+        for &i in ids {
+            v.insert(PeerId(i));
+        }
+        v
+    }
+
+    fn decode_ok(buf: &[u8]) -> (ViewFrame, usize) {
+        decode_view(buf, 2_000_000).expect("decodes")
+    }
+
+    #[test]
+    fn varint_len_matches_encoding() {
+        for x in [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut out = Vec::new();
+            put_varint(&mut out, x);
+            assert_eq!(out.len(), varint_len(x), "x={x}");
+            let mut at = 0;
+            assert_eq!(get_varint(&out, &mut at).unwrap(), x);
+            assert_eq!(at, out.len());
+        }
+    }
+
+    #[test]
+    fn every_encoding_round_trips_the_same_set() {
+        let cases = [
+            view_of(1, &[0]),
+            view_of(64, &[]),
+            view_of(100, &[0, 7, 8, 9, 63, 64, 99]),
+            View::full(1000),
+            view_of(10_000, &[3, 500, 9_999]),
+        ];
+        for v in &cases {
+            for enc in [
+                encode_dense as fn(&View, &mut Vec<u8>),
+                encode_sparse,
+                encode_runs,
+                encode_view,
+            ] {
+                let mut out = Vec::new();
+                enc(v, &mut out);
+                let (frame, used) = decode_ok(&out);
+                assert_eq!(used, out.len());
+                match frame {
+                    ViewFrame::Set(got) => assert_eq!(&got, v),
+                    other => panic!("expected set, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encoder_picks_the_smallest_form() {
+        // Tiny membership in a big population: sparse wins by orders of
+        // magnitude over the bitmap.
+        let v = view_of(100_000, &[5, 17, 80_000]);
+        assert!(encoded_len(&v) < 20, "got {}", encoded_len(&v));
+        // Full view: a single run, constant-size.
+        assert!(encoded_len(&View::full(1_000_000)) < 12);
+        // Fragmented half-full small view: the bitmap wins.
+        let frag: Vec<u32> = (0..128).step_by(2).collect();
+        let v = view_of(128, &frag);
+        let mut out = Vec::new();
+        encode_view(&v, &mut out);
+        assert_eq!(out[0] & 0x0f, TAG_DENSE);
+        assert_eq!(out.len(), encoded_len(&v));
+    }
+
+    #[test]
+    fn encoded_len_is_exact_for_all_forms() {
+        let views = [
+            view_of(50, &[]),
+            view_of(50, &[0]),
+            view_of(4_000, &[1, 2, 3, 900, 3_999]),
+            View::full(4_000),
+            view_of(200, &(0..200).step_by(3).collect::<Vec<_>>()),
+        ];
+        for v in &views {
+            let mut out = Vec::new();
+            encode_view(v, &mut out);
+            assert_eq!(out.len(), encoded_len(v), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn delta_round_trips_and_applies() {
+        let base = view_of(10_000, &[1, 40, 40, 900]);
+        let additions = [0u32, 41, 9_999];
+        let mut out = Vec::new();
+        encode_delta(10_000, base.count(), &additions, &mut out);
+        assert_eq!(
+            out.len(),
+            delta_encoded_len(10_000, base.count(), &additions)
+        );
+        let (frame, used) = decode_ok(&out);
+        assert_eq!(used, out.len());
+        let ViewFrame::Delta {
+            n,
+            base_count,
+            additions: got,
+        } = frame
+        else {
+            panic!("expected delta");
+        };
+        assert_eq!(n, 10_000);
+        assert_eq!(base_count, base.count());
+        assert_eq!(got, additions);
+        let rebuilt = apply_delta(&base, &got);
+        assert_eq!(rebuilt, view_of(10_000, &[0, 1, 40, 41, 900, 9_999]));
+    }
+
+    #[test]
+    fn version_and_tag_are_enforced() {
+        let mut out = Vec::new();
+        encode_sparse(&view_of(10, &[2]), &mut out);
+        let mut wrong_ver = out.clone();
+        wrong_ver[0] = (2 << 4) | TAG_SPARSE;
+        assert_eq!(
+            decode_view(&wrong_ver, 100).unwrap_err(),
+            WireError::BadVersion(2)
+        );
+        let mut wrong_tag = out.clone();
+        wrong_tag[0] = (WIRE_VERSION << 4) | 9;
+        assert_eq!(
+            decode_view(&wrong_tag, 100).unwrap_err(),
+            WireError::BadTag(9)
+        );
+    }
+
+    #[test]
+    fn truncations_and_garbage_error_not_panic() {
+        let mut frames = Vec::new();
+        for enc in [
+            encode_dense as fn(&View, &mut Vec<u8>),
+            encode_sparse,
+            encode_runs,
+        ] {
+            let mut out = Vec::new();
+            enc(&view_of(300, &[0, 5, 6, 7, 250]), &mut out);
+            frames.push(out);
+        }
+        let mut d = Vec::new();
+        encode_delta(300, 4, &[9, 10, 299], &mut d);
+        frames.push(d);
+        for frame in &frames {
+            for cut in 0..frame.len() {
+                let _ = decode_view(&frame[..cut], 1_000);
+            }
+        }
+        assert_eq!(decode_view(&[], 100).unwrap_err(), WireError::Truncated);
+    }
+
+    #[test]
+    fn population_cap_rejects_oversized_claims() {
+        let mut out = Vec::new();
+        encode_sparse(&view_of(5_000, &[4_999]), &mut out);
+        assert_eq!(
+            decode_view(&out, 1_000).unwrap_err(),
+            WireError::BadEncoding
+        );
+        assert!(decode_view(&out, 5_000).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_ids_are_rejected() {
+        // Sparse frame claiming n=4 but carrying id 7.
+        let mut out = Vec::new();
+        put_header(&mut out, TAG_SPARSE, 4);
+        put_varint(&mut out, 1);
+        put_varint(&mut out, 7);
+        assert_eq!(decode_view(&out, 100).unwrap_err(), WireError::BadEncoding);
+        // Runs frame whose run overflows n.
+        let mut out = Vec::new();
+        put_header(&mut out, TAG_RUNS, 4);
+        put_varint(&mut out, 1);
+        put_varint(&mut out, 2); // start = 2
+        put_varint(&mut out, 5); // end = 8 > n
+        assert_eq!(decode_view(&out, 100).unwrap_err(), WireError::BadEncoding);
+        // Dense frame with a stray bit beyond n.
+        let mut out = Vec::new();
+        put_header(&mut out, TAG_DENSE, 4);
+        out.push(0b0001_0000); // bit 4 set, n = 4
+        assert_eq!(decode_view(&out, 100).unwrap_err(), WireError::BadEncoding);
+    }
+}

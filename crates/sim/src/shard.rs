@@ -569,16 +569,23 @@ impl<M: SimMessage> Shard<M> {
         self.flush(&txs);
         sync.barrier.wait();
         self.drain(&rxs, &mut inbox);
-        if self.stop {
-            sync.stop.store(true, Ordering::Release);
-        }
         loop {
+            // Publish a pending halt only here, strictly between the
+            // window-closing barrier below and the window-opening one:
+            // no worker can reach this store for window k+1 until every
+            // worker has both read the flag for window k and closed k,
+            // so all workers read the same value and take the same
+            // branch every iteration. (A mid-window store — the old
+            // code stored right after `dispatch_window` — could be read
+            // one iteration "early" by a sibling that was descheduled
+            // just past the opening barrier; that sibling broke out
+            // while the stopper parked on the closing barrier forever.)
+            if self.stop {
+                sync.stop.store(true, Ordering::Release);
+            }
             let next = self.queue.peek_time().map_or(u64::MAX, |t| t.0);
             sync.next[self.index as usize].store(next, Ordering::Release);
             sync.barrier.wait();
-            // Every worker reads the same posted values and flags, so
-            // all take the same branch and the barrier count stays
-            // aligned across shards.
             if sync.stop.load(Ordering::Acquire) {
                 break;
             }
@@ -603,9 +610,6 @@ impl<M: SimMessage> Shard<M> {
                 )
             };
             self.dispatch_window(end);
-            if self.stop {
-                sync.stop.store(true, Ordering::Release);
-            }
             if end.0 < u64::MAX {
                 self.floor = SimTime(end.0 + 1);
             }

@@ -15,6 +15,17 @@
 use mss::core::prelude::*;
 use std::time::Instant;
 
+/// Nonzero per-kind control-byte counters (codec-exact wire bytes).
+fn kind_bytes_of(m: &mss::sim::metrics::Metrics) -> Vec<(&'static str, u64)> {
+    mss::core::metrics::COORD_BYTES_TX_KINDS
+        .iter()
+        .filter_map(|name| {
+            let v = m.counter(name);
+            (v > 0).then_some((name.rsplit('.').next().unwrap_or(name), v))
+        })
+        .collect()
+}
+
 /// Peak resident set (`VmHWM`) in bytes, from procfs; `None` off Linux.
 fn peak_rss_bytes() -> Option<u64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
@@ -46,18 +57,21 @@ fn main() {
         cfg.fanout
     );
     let start = Instant::now();
-    let (outcome, events, digest, stats) = if shards <= 1 {
+    let (outcome, events, digest, stats, kind_bytes) = if shards <= 1 {
         let (outcome, world, _) = Session::new(cfg, protocol).run_with_world();
-        (outcome, world.events_dispatched(), None, Vec::new())
+        let kinds = kind_bytes_of(world.metrics());
+        (outcome, world.events_dispatched(), None, Vec::new(), kinds)
     } else {
         let (outcome, world, _) = Session::new(cfg, protocol)
             .shards(shards)
             .run_with_sharded_world();
+        let kinds = kind_bytes_of(world.metrics());
         (
             outcome,
             world.events_dispatched(),
             Some(world.event_digest()),
             world.shard_stats(),
+            kinds,
         )
     };
     let wall = start.elapsed().as_secs_f64();
@@ -71,6 +85,27 @@ fn main() {
     println!("stream complete     : {}", outcome.complete);
     println!("sync rounds         : {}", outcome.rounds);
     println!("events dispatched   : {events}");
+    // Three byte views of the same control traffic: the paper-model
+    // cost (fixed bitmap formulas, keeps figures comparable), the
+    // codec-exact bytes actually framed (adaptive views + deltas), and
+    // the counterfactual where every delta shipped its full view.
+    println!(
+        "coord bytes (model) : {:.1} MiB",
+        outcome.coord_bytes as f64 / (1 << 20) as f64
+    );
+    println!(
+        "coord bytes (wire)  : {:.1} MiB ({:.1}% of full-view wire)",
+        outcome.coord_bytes_tx as f64 / (1 << 20) as f64,
+        100.0 * outcome.coord_bytes_tx as f64 / outcome.coord_bytes_full.max(1) as f64
+    );
+    for (kind, bytes) in &kind_bytes {
+        println!(
+            "  {:<10}: {:>12} bytes ({:.1}%)",
+            kind,
+            bytes,
+            100.0 * *bytes as f64 / outcome.coord_bytes_tx.max(1) as f64
+        );
+    }
     println!("wall clock          : {wall:.2} s");
     println!(
         "events/sec          : {:.0}",

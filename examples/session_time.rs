@@ -1,0 +1,35 @@
+//! Quick wall-clock probe for the benchmark session (n=100, H=8,
+//! 2000-packet content): prints best-of-3 milliseconds per protocol.
+//! A lightweight stand-in for `cargo bench session_throughput` while
+//! iterating on hot-path changes.
+
+use mss::core::prelude::*;
+use std::time::Instant;
+
+fn cfg(seed: u64) -> SessionConfig {
+    let mut c = SessionConfig::small(100, 8, seed);
+    c.content = ContentDesc::small(seed, 2_000);
+    c
+}
+
+fn main() {
+    for proto in [Protocol::Dcop, Protocol::Tcop] {
+        let _ = Session::new(cfg(42), proto).run();
+        let mut best = f64::MAX;
+        let mut events = 0;
+        for _ in 0..3 {
+            let t = Instant::now();
+            let (o, w, _) = Session::new(cfg(42), proto).run_with_world();
+            let dt = t.elapsed().as_secs_f64();
+            best = best.min(dt);
+            events = w.events_dispatched();
+            assert!(o.complete);
+        }
+        println!(
+            "{}: {:.3} ms/iter ({:.0} events/s)",
+            proto.name(),
+            best * 1e3,
+            events as f64 / best
+        );
+    }
+}

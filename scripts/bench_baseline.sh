@@ -42,6 +42,7 @@ run_bench() {
 
 session_raw=$(run_bench session_throughput)
 kernels_raw=$(run_bench coding_kernels)
+views_raw=$(run_bench view_codec)
 
 {
     printf '{\n'
@@ -93,6 +94,30 @@ kernels_raw=$(run_bench coding_kernels)
         for (i = 1; i <= n; i++)
             printf "      \"%s\": %.1f%s\n", names[i], mibs[i], (i < n ? "," : "")
     }' <<<"$kernels_raw"
+    printf '    }\n'
+    printf '  },\n'
+
+    printf '  "view_codec": {\n'
+    printf '    "mib_per_sec": {\n'
+    awk '
+    # Same stdout shape as coding_kernels: a "view_codec" group header
+    # then "  encode_sparse/1000  1.2 us/iter (345.6 MiB/s)" entries
+    # (apply_delta reports Melem/s and is skipped here).
+    /^[a-z_]+$/ { group = $1; next }
+    /MiB\/s/ {
+        rate = $(NF-1)
+        sub(/^\(/, "", rate)
+        names[++n] = group "/" $1
+        mibs[n] = rate
+    }
+    END {
+        if (n == 0) {
+            print "bench_baseline.sh: no view_codec lines parsed" > "/dev/stderr"
+            exit 1
+        }
+        for (i = 1; i <= n; i++)
+            printf "      \"%s\": %.1f%s\n", names[i], mibs[i], (i < n ? "," : "")
+    }' <<<"$views_raw"
     printf '    }\n'
     printf '  }\n'
     printf '}\n'
@@ -178,8 +203,42 @@ record_live_scale() {
     echo "bench_baseline.sh: live-plane sweep appended to $history"
 }
 
+record_view_bytes() {
+    # Control-plane byte curve: per-peer-per-round bytes of the same
+    # session under the fixed-bitmap model, the adaptive codec with
+    # full views, and the delta piggybacks actually framed. Seconds of
+    # wall clock (three deterministic sessions per protocol). Opt out
+    # with MSS_SKIP_VIEW_BYTES=1.
+    if [ "${MSS_SKIP_VIEW_BYTES:-0}" = "1" ]; then
+        echo "bench_baseline.sh: view-bytes sweep skipped (MSS_SKIP_VIEW_BYTES=1)"
+        return 0
+    fi
+    if ! cargo run --release -q -p mss-harness -- view_bytes; then
+        echo "bench_baseline.sh: view-bytes sweep failed" >&2
+        exit 1
+    fi
+    local csv="results/view_bytes.csv"
+    if [ ! -s "$csv" ]; then
+        echo "bench_baseline.sh: view-bytes sweep wrote no $csv" >&2
+        exit 1
+    fi
+    {
+        printf '{"commit": "%s", "recorded": "%s", "bench": "view_bytes", "bytes_per_peer_round": {' \
+            "$commit" "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+        # protocol,n,rounds,model_B,full_B,delta_B,model_B_ppr,full_B_ppr,delta_B_ppr,...
+        awk -F, 'NR > 1 {
+            key = sprintf("%s/n%s", $1, $2)
+            printf "%s\"%s/model\": %s, \"%s/full\": %s, \"%s/delta\": %s", \
+                (n++ ? ", " : ""), key, $7, key, $8, key, $9
+        }' "$csv"
+        printf '}}\n'
+    } >>"$history"
+    echo "bench_baseline.sh: view-bytes sweep appended to $history"
+}
+
 if [ "${MSS_SKIP_SCALING:-0}" = "1" ]; then
     echo "bench_baseline.sh: scaling sweep skipped (MSS_SKIP_SCALING=1)"
+    record_view_bytes
     record_live_scale
     exit 0
 fi
@@ -208,4 +267,5 @@ fi
 } >>"$history"
 echo "bench_baseline.sh: scaling sweep appended to $history"
 
+record_view_bytes
 record_live_scale
