@@ -84,7 +84,7 @@ impl BroadcastPeer {
                 view_wire: crate::msg::ViewWire::full(),
             };
             let to = self.core.dir.actor_of(peer);
-            self.core.send_coord(ctx, to, Msg::Control(msg));
+            self.core.send_coord(ctx, to, Msg::control(msg));
         }
         self.maybe_switch(ctx);
     }
@@ -126,8 +126,8 @@ impl BroadcastPeer {
 impl Actor<Msg> for BroadcastPeer {
     fn on_message(&mut self, ctx: &mut dyn Runtime<Msg>, _from: ActorId, msg: Msg) {
         match msg {
-            Msg::Request(req) => self.on_request(ctx, req),
-            Msg::Control(c) if c.kind == ControlKind::Announce => self.on_announce(ctx, c),
+            Msg::Request(req) => self.on_request(ctx, *req),
+            Msg::Control(c) if c.kind == ControlKind::Announce => self.on_announce(ctx, *c),
             Msg::Nack(n) => self.core.on_nack(ctx, &n),
             _ => {}
         }

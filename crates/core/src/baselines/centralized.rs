@@ -14,7 +14,7 @@ use mss_sim::prelude::*;
 
 use crate::config::SessionConfig;
 use crate::metrics as mnames;
-use crate::msg::{ContentRequest, Msg, TwoPhase};
+use crate::msg::{Msg, TwoPhase};
 use crate::peer_core::{Core, PeerReport, TAG_SEND, TAG_SWITCH};
 use crate::schedule::initial_assignment_opts;
 use mss_overlay::{Directory, PeerId};
@@ -144,7 +144,7 @@ impl CentralizedPeer {
 impl Actor<Msg> for CentralizedPeer {
     fn on_message(&mut self, ctx: &mut dyn Runtime<Msg>, _from: ActorId, msg: Msg) {
         match msg {
-            Msg::Request(ContentRequest { .. }) => self.on_request(ctx),
+            Msg::Request(_) => self.on_request(ctx),
             Msg::TwoPhase(TwoPhase::Prepare { part, parts, h, .. }) => {
                 self.on_prepare(ctx, part, parts, h)
             }

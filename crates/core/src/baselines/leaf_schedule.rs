@@ -50,7 +50,7 @@ impl SchedulePeer {
 impl Actor<Msg> for SchedulePeer {
     fn on_message(&mut self, ctx: &mut dyn Runtime<Msg>, _from: ActorId, msg: Msg) {
         match msg {
-            Msg::Assign(a) => self.on_assign(ctx, a),
+            Msg::Assign(a) => self.on_assign(ctx, *a),
             Msg::Nack(n) => self.core.on_nack(ctx, &n),
             _ => {}
         }

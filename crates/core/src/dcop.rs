@@ -65,7 +65,7 @@ impl DcopPeer {
         &mut self,
         ctx: &mut dyn Runtime<Msg>,
         shared: &mut RoundShared,
-        c: ControlPacket,
+        c: &ControlPacket,
     ) {
         if c.kind != ControlKind::Activate {
             // DCoP speaks only `Activate`; anything else (a misrouted
@@ -164,7 +164,7 @@ impl DcopPeer {
                 view_wire: crate::msg::ViewWire::full(),
             };
             let to = self.core.dir.actor_of(*child);
-            shared.outbox.push((to, Msg::Control(packet)));
+            shared.outbox.push((to, shared.ctl.wrap(packet)));
         }
         self.core.send_coord_batch(ctx, &mut shared.outbox);
         // The parent keeps part 0 of the same division, switching at δ.
@@ -184,8 +184,11 @@ impl PlanePeer for DcopPeer {
         msg: Msg,
     ) {
         match msg {
-            Msg::Request(req) => self.on_request(ctx, shared, req),
-            Msg::Control(c) => self.on_control(ctx, shared, c),
+            Msg::Request(req) => self.on_request(ctx, shared, *req),
+            Msg::Control(c) => {
+                self.on_control(ctx, shared, &c);
+                shared.ctl.recycle(c);
+            }
             Msg::Nack(n) => self.core.on_nack(ctx, &n),
             _ => {}
         }

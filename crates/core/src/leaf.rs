@@ -196,7 +196,7 @@ impl LeafActor {
                 weights: weights.clone(),
             };
             let to = self.dir.actor_of(*peer);
-            self.send_coord(ctx, to, Msg::Request(req));
+            self.send_coord(ctx, to, Msg::request(req));
         }
     }
 
@@ -239,7 +239,7 @@ impl LeafActor {
             } else {
                 uniform_interval
             };
-            let msg = Msg::Assign(ScheduleAssignment {
+            let msg = Msg::assign(ScheduleAssignment {
                 part: k as u32,
                 parts: n as u32,
                 h: h as u32,
@@ -377,6 +377,7 @@ impl Actor<Msg> for LeafActor {
     fn on_message(&mut self, ctx: &mut dyn Runtime<Msg>, _from: mss_sim::event::ActorId, msg: Msg) {
         if let Msg::Data(d) = msg {
             self.on_data(ctx, &d.packet.id, &d.packet.payload);
+            crate::msg::recycle_data(d);
         }
     }
 

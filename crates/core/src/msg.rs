@@ -167,12 +167,20 @@ pub struct ProbeReply {
 }
 
 /// A streamed media packet.
+///
+/// The packet body lives behind an `Arc` so the enum variant is two
+/// words: data messages are the majority of all events in a streaming
+/// session, and keeping them pointer-sized is what lets
+/// `size_of::<Msg>()` — and with it every queue slot, cross-shard batch
+/// entry, and mailbox cell — stay at a couple of words. The `Arc` also
+/// makes retransmission (NACK repair) clones refcount bumps instead of
+/// payload-handle copies.
 #[derive(Clone, Debug)]
 pub struct DataMsg {
     /// Sending contents peer.
     pub from: PeerId,
     /// The packet (data or parity) itself.
-    pub packet: Packet,
+    pub packet: Arc<Packet>,
 }
 
 /// Centralized (2PC-style) baseline messages.
@@ -230,12 +238,23 @@ pub struct Nack {
 }
 
 /// Everything that can travel in a session.
+///
+/// The fat bodies — [`ControlPacket`] (~15 fields), [`ContentRequest`],
+/// and [`ScheduleAssignment`] — are boxed so the enum itself is a
+/// couple of words. `size_of::<Msg>()` sets the width of every
+/// calendar-queue slot, cross-shard batch entry, and live-plane mailbox
+/// cell, for the [`Msg::Data`] majority as much as for the control
+/// minority; before the boxing, `ControlPacket` alone pushed every
+/// event to 120 bytes. [`TwoPhase`], [`ProbeReply`], and [`Nack`] stay
+/// inline: they are already small and fixed-size, and `TwoPhase` (the
+/// widest inline variant at 24 bytes) is what the compile-time bound
+/// below pins.
 #[derive(Clone, Debug)]
 pub enum Msg {
     /// Leaf → contents peer.
-    Request(ContentRequest),
+    Request(Box<ContentRequest>),
     /// Parent → child coordination.
-    Control(ControlPacket),
+    Control(Box<ControlPacket>),
     /// TCoP probe reply.
     Reply(ProbeReply),
     /// Contents peer → leaf media packet.
@@ -243,16 +262,99 @@ pub enum Msg {
     /// Centralized baseline traffic.
     TwoPhase(TwoPhase),
     /// Leaf-schedule baseline traffic.
-    Assign(ScheduleAssignment),
+    Assign(Box<ScheduleAssignment>),
     /// Repair request (leaf → peer).
     Nack(Nack),
 }
 
+// Size regression gates (ISSUE 10): the memory plane is engineered
+// around these bounds — a variant silently regrowing past them would
+// re-widen every event in the simulator. `Msg` must stay ≤ 32 bytes
+// (currently 24: the 24-byte `TwoPhase` inline variant with the tag
+// folded into its discriminant niche).
+const _: () = assert!(std::mem::size_of::<Msg>() <= 32);
+// A full event (payload + actor routing) must fit in half a cache
+// line, and `Option<Event<Msg>>` — the payload-slab cell type — must
+// cost no more than `Event<Msg>` itself (the `Arc` niches absorb the
+// discriminant).
+const _: () = assert!(std::mem::size_of::<mss_sim::event::Event<Msg>>() <= 32);
+const _: () = assert!(
+    std::mem::size_of::<Option<mss_sim::event::Event<Msg>>>()
+        == std::mem::size_of::<mss_sim::event::Event<Msg>>()
+);
+const _: () = assert!(std::mem::size_of::<DataMsg>() <= 16);
+const _: () = assert!(std::mem::size_of::<ProbeReply>() <= 12);
+const _: () = assert!(std::mem::size_of::<TwoPhase>() <= 24);
+const _: () = assert!(std::mem::size_of::<Nack>() <= 16);
+
 impl Msg {
+    /// A control message, boxing the fat body. Use this (not
+    /// `Msg::Control(Box::new(..))`) at construction sites.
+    pub fn control(c: ControlPacket) -> Msg {
+        Msg::Control(Box::new(c))
+    }
+
+    /// A content request, boxing the fat body.
+    pub fn request(r: ContentRequest) -> Msg {
+        Msg::Request(Box::new(r))
+    }
+
+    /// A schedule assignment, boxing the fat body.
+    pub fn assign(a: ScheduleAssignment) -> Msg {
+        Msg::Assign(Box::new(a))
+    }
+
+    /// A data message from `from` carrying `packet`, reusing a
+    /// recycled `Arc` shell (see [`recycle_data`]) when one is free so
+    /// the data fast path does not pay one allocator round-trip per
+    /// packet.
+    pub fn data(from: PeerId, packet: Packet) -> Msg {
+        let packet = match PKT_SHELLS.with(|s| s.borrow_mut().pop()) {
+            Some(mut shell) => match Arc::get_mut(&mut shell) {
+                Some(slot) => {
+                    *slot = packet;
+                    shell
+                }
+                None => Arc::new(packet),
+            },
+            None => Arc::new(packet),
+        };
+        Msg::Data(DataMsg { from, packet })
+    }
+
     /// True for coordination (non-data) messages — what Figures 10/11
     /// count.
     pub fn is_coordination(&self) -> bool {
         !matches!(self, Msg::Data(_))
+    }
+}
+
+thread_local! {
+    /// Free-list of uniquely-owned `Arc<Packet>` shells, recycled
+    /// between the leaf consumer ([`recycle_data`]) and the data send
+    /// path ([`Msg::data`]). Thread-local so single-world runs recycle
+    /// every shell while sharded workers keep independent (bounded)
+    /// pools — pure allocation reuse, invisible to handlers and to
+    /// event order.
+    static PKT_SHELLS: std::cell::RefCell<Vec<Arc<Packet>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Shells kept per thread at most; a burst beyond this frees normally.
+const PKT_SHELL_CAP: usize = 64;
+
+/// Hand a consumed data message's `Arc` shell back for reuse by the
+/// next [`Msg::data`] on this thread. Shells still shared (a repair
+/// path cloned the `Arc`) are dropped normally.
+pub fn recycle_data(d: DataMsg) {
+    let mut shell = d.packet;
+    if Arc::get_mut(&mut shell).is_some() {
+        PKT_SHELLS.with(|s| {
+            let mut pool = s.borrow_mut();
+            if pool.len() < PKT_SHELL_CAP {
+                pool.push(shell);
+            }
+        });
     }
 }
 
@@ -393,9 +495,27 @@ mod tests {
         }
     }
 
+    /// Runtime mirror of the compile-time size asserts above, so
+    /// `verify.sh` has a named gate to run (`--lib size_regression`)
+    /// and a regression shows up as a test failure with the measured
+    /// width, not just a build error.
+    #[test]
+    fn size_regression() {
+        use mss_sim::event::Event;
+        use std::mem::size_of;
+        assert_eq!(size_of::<Msg>(), 24, "Msg grew past two words + tag");
+        assert_eq!(size_of::<Event<Msg>>(), 32, "queue payload cell grew");
+        assert_eq!(
+            size_of::<Option<Event<Msg>>>(),
+            size_of::<Event<Msg>>(),
+            "Option<Event<Msg>> lost its niche"
+        );
+        assert_eq!(size_of::<DataMsg>(), 16, "data fast path grew");
+    }
+
     #[test]
     fn coordination_classification() {
-        assert!(Msg::Control(control(ControlKind::Activate, 10)).is_coordination());
+        assert!(Msg::control(control(ControlKind::Activate, 10)).is_coordination());
         assert!(Msg::Reply(ProbeReply {
             from: PeerId(0),
             accept: true,
@@ -403,19 +523,16 @@ mod tests {
         })
         .is_coordination());
         let c = ContentDesc::small(1, 4);
-        let d = Msg::Data(DataMsg {
-            from: PeerId(0),
-            packet: c.materialize(&PacketId::Data(Seq(1))),
-        });
+        let d = Msg::data(PeerId(0), c.materialize(&PacketId::Data(Seq(1))));
         assert!(!d.is_coordination());
     }
 
     #[test]
     fn control_wire_size_scales_with_view_not_schedule() {
-        let small = Msg::Control(control(ControlKind::Probe, 100));
+        let small = Msg::control(control(ControlKind::Probe, 100));
         let mut big = control(ControlKind::Probe, 100);
         big.sched = PacketSeq::data_range(100_000).into();
-        let big = Msg::Control(big);
+        let big = Msg::control(big);
         assert_eq!(small.wire_size(), big.wire_size(), "schedule is a recipe");
         // Adaptive encoding: the cost scales with membership, not the
         // population — a fuller view costs more, a wider empty one
@@ -426,7 +543,7 @@ mod tests {
             v.insert(PeerId(i));
         }
         fuller.view = Arc::new(v);
-        assert!(Msg::Control(fuller).wire_size() > small.wire_size());
+        assert!(Msg::control(fuller).wire_size() > small.wire_size());
     }
 
     #[test]
@@ -437,13 +554,13 @@ mod tests {
             v.insert(PeerId(i * 5));
         }
         c.view = Arc::new(v);
-        let full = Msg::Control(c.clone());
+        let full = Msg::control(c.clone());
         c.view_wire = ViewWire::Delta {
             epoch: 1,
             base_count: 198,
             additions: vec![41, 997].into(),
         };
-        let delta = Msg::Control(c);
+        let delta = Msg::control(c);
         assert!(delta.wire_size() < full.wire_size(), "delta must shrink tx");
         assert_eq!(delta.full_wire_size(), full.wire_size());
         assert_eq!(delta.model_size(), full.model_size());
@@ -454,7 +571,7 @@ mod tests {
     #[test]
     fn assign_wire_size_scales_with_schedule() {
         let a = |l: u64| {
-            Msg::Assign(ScheduleAssignment {
+            Msg::assign(ScheduleAssignment {
                 part: 0,
                 parts: 1,
                 h: 1,
@@ -493,8 +610,8 @@ mod tests {
         let mut weighted = base.clone();
         weighted.weights = Some(vec![1, 2, 3, 4].into());
         assert_eq!(
-            Msg::Request(weighted).wire_size(),
-            Msg::Request(base).wire_size() + 4 + 32
+            Msg::request(weighted).wire_size(),
+            Msg::request(base).wire_size() + 4 + 32
         );
     }
 
@@ -503,10 +620,7 @@ mod tests {
         let c = ContentDesc::small(1, 4);
         let p = c.materialize(&PacketId::Data(Seq(2)));
         let expect = p.wire_size();
-        let m = Msg::Data(DataMsg {
-            from: PeerId(1),
-            packet: p,
-        });
+        let m = Msg::data(PeerId(1), p);
         assert_eq!(m.wire_size(), expect);
     }
 }

@@ -14,7 +14,7 @@ use mss_sim::prelude::*;
 
 use crate::config::{Piggyback, SessionConfig};
 use crate::metrics as mnames;
-use crate::msg::{ContentRequest, DataMsg, Msg};
+use crate::msg::{ContentRequest, Msg};
 use crate::plane::RoundShared;
 use crate::schedule::{merge_assignment, TxSchedule};
 
@@ -360,13 +360,7 @@ impl Core {
         let packet = self.cfg.content.materialize(&id);
         ctx.metrics().incr_id(mnames::data_msgs_id());
         let leaf = self.dir.leaf();
-        ctx.send(
-            leaf,
-            Msg::Data(DataMsg {
-                from: self.me,
-                packet,
-            }),
-        );
+        ctx.send(leaf, Msg::data(self.me, packet));
         self.arm_send(ctx);
     }
 
@@ -389,13 +383,7 @@ impl Core {
             ctx.metrics().incr("repair.packets");
             ctx.metrics().incr_id(mnames::data_msgs_id());
             self.sent += 1;
-            ctx.send(
-                leaf,
-                Msg::Data(DataMsg {
-                    from: self.me,
-                    packet,
-                }),
-            );
+            ctx.send(leaf, Msg::data(self.me, packet));
         }
     }
 

@@ -128,7 +128,7 @@ impl TcopPeer {
                 view_wire: ViewWire::Full { epoch },
             };
             let to = self.core.dir.actor_of(*child);
-            shared.outbox.push((to, Msg::Control(probe)));
+            shared.outbox.push((to, shared.ctl.wrap(probe)));
         }
         self.core.send_coord_batch(ctx, &mut shared.outbox);
         let timer = ctx.set_timer(self.core.cfg.reply_timeout, TAG_REPLY_TIMEOUT);
@@ -147,7 +147,7 @@ impl TcopPeer {
     /// does not merge its view — view knowledge transfers on the commit
     /// (`c2`), which is what reproduces the paper's 6 rounds at `H = 60`
     /// (the committed wave still has peers to probe).
-    fn on_probe(&mut self, ctx: &mut dyn Runtime<Msg>, c: ControlPacket) {
+    fn on_probe(&mut self, ctx: &mut dyn Runtime<Msg>, c: &ControlPacket) {
         self.core.view.insert(c.from);
         let accept = !self.has_parent;
         if accept {
@@ -262,7 +262,7 @@ impl TcopPeer {
                 basis: Some(basis.clone()),
             };
             let to = self.core.dir.actor_of(*child);
-            shared.outbox.push((to, Msg::Control(commit)));
+            shared.outbox.push((to, shared.ctl.wrap(commit)));
         }
         self.core.send_coord_batch(ctx, &mut shared.outbox);
         let own = basis.assign(parts, 0);
@@ -276,7 +276,7 @@ impl TcopPeer {
         &mut self,
         ctx: &mut dyn Runtime<Msg>,
         shared: &mut RoundShared,
-        c: ControlPacket,
+        c: &ControlPacket,
     ) {
         self.core.view.insert(c.from);
         self.core.view.union_with(&c.view);
@@ -310,16 +310,19 @@ impl PlanePeer for TcopPeer {
         msg: Msg,
     ) {
         match msg {
-            Msg::Request(req) => self.on_request(ctx, shared, req),
-            Msg::Control(c) => match c.kind {
-                ControlKind::Probe => self.on_probe(ctx, c),
-                ControlKind::Commit => self.on_commit(ctx, shared, c),
-                // TCoP has no handler for these kinds; drop and count
-                // instead of silently ignoring.
-                ControlKind::Activate | ControlKind::Announce => {
-                    self.core.count_unexpected_control(ctx)
+            Msg::Request(req) => self.on_request(ctx, shared, *req),
+            Msg::Control(c) => {
+                match c.kind {
+                    ControlKind::Probe => self.on_probe(ctx, &c),
+                    ControlKind::Commit => self.on_commit(ctx, shared, &c),
+                    // TCoP has no handler for these kinds; drop and count
+                    // instead of silently ignoring.
+                    ControlKind::Activate | ControlKind::Announce => {
+                        self.core.count_unexpected_control(ctx)
+                    }
                 }
-            },
+                shared.ctl.recycle(c);
+            }
             Msg::Reply(r) => self.on_reply(ctx, shared, r),
             Msg::Nack(n) => self.core.on_nack(ctx, &n),
             _ => {}

@@ -73,10 +73,10 @@ fn dir() -> Directory {
 }
 
 fn data_msg(content: &ContentDesc, seq: u64) -> Msg {
-    Msg::Data(mss_core::msg::DataMsg {
-        from: mss_overlay::PeerId(0),
-        packet: content.materialize(&PacketId::Data(Seq(seq))),
-    })
+    Msg::data(
+        mss_overlay::PeerId(0),
+        content.materialize(&PacketId::Data(Seq(seq))),
+    )
 }
 
 #[test]

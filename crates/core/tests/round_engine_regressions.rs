@@ -122,7 +122,7 @@ fn wave_zero_activation_is_reported_as_some_zero() {
     let mut rt = MockRt::new();
     let mut shared = RoundShared::default();
     let mut peer = DcopPeer::new(PeerId(0), dir(), cfg());
-    peer.plane_message(&mut rt, &mut shared, ActorId(8), Msg::Request(request(0)));
+    peer.plane_message(&mut rt, &mut shared, ActorId(8), Msg::request(request(0)));
     let report = peer.report();
     assert!(report.active);
     assert_eq!(report.wave, Some(0), "wave-0 activation must be Some(0)");
@@ -160,7 +160,7 @@ fn dcop_drops_and_counts_non_activate_control_kinds() {
             &mut rt,
             &mut shared,
             ActorId(1),
-            Msg::Control(control(kind)),
+            Msg::control(control(kind)),
         );
         assert_eq!(
             rt.metrics.counter(COORD_UNEXPECTED_KIND),
@@ -189,7 +189,7 @@ fn tcop_drops_and_counts_activate_and_announce_kinds() {
             &mut rt,
             &mut shared,
             ActorId(1),
-            Msg::Control(control(kind)),
+            Msg::control(control(kind)),
         );
         assert_eq!(
             rt.metrics.counter(COORD_UNEXPECTED_KIND),

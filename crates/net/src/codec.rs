@@ -17,7 +17,7 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use mss_core::msg::{
-    ContentRequest, ControlKind, ControlPacket, DataMsg, Msg, Nack, ProbeReply, ScheduleAssignment,
+    ContentRequest, ControlKind, ControlPacket, Msg, Nack, ProbeReply, ScheduleAssignment,
     TwoPhase, ViewWire,
 };
 use mss_media::{Packet, PacketId, PacketSeq, Seq, SeqView};
@@ -409,7 +409,7 @@ pub fn decode(frame: &[u8]) -> Result<(ActorId, Msg), CodecError> {
             } else {
                 None
             };
-            Msg::Request(ContentRequest {
+            Msg::request(ContentRequest {
                 wave,
                 interval_nanos,
                 h,
@@ -420,7 +420,7 @@ pub fn decode(frame: &[u8]) -> Result<(ActorId, Msg), CodecError> {
                 weights,
             })
         }
-        1 => Msg::Control(get_control(&mut buf)?),
+        1 => Msg::control(get_control(&mut buf)?),
         2 => {
             need(&buf, 9)?;
             Msg::Reply(ProbeReply {
@@ -437,10 +437,7 @@ pub fn decode(frame: &[u8]) -> Result<(ActorId, Msg), CodecError> {
             need(&buf, len)?;
             let payload = Bytes::copy_from_slice(&buf.chunk()[..len]);
             buf.advance(len);
-            Msg::Data(DataMsg {
-                from: from_peer,
-                packet: Packet { id, payload },
-            })
+            Msg::data(from_peer, Packet { id, payload })
         }
         4 => {
             need(&buf, 1)?;
@@ -477,7 +474,7 @@ pub fn decode(frame: &[u8]) -> Result<(ActorId, Msg), CodecError> {
             let h = buf.get_u32_le();
             let interval_nanos = buf.get_u64_le();
             let sched = get_seq(&mut buf)?;
-            Msg::Assign(ScheduleAssignment {
+            Msg::assign(ScheduleAssignment {
                 part,
                 parts,
                 h,
@@ -520,7 +517,7 @@ mod tests {
 
     #[test]
     fn request_roundtrip() {
-        let msg = Msg::Request(ContentRequest {
+        let msg = Msg::request(ContentRequest {
             wave: 1,
             interval_nanos: 512_000,
             h: 3,
@@ -545,7 +542,7 @@ mod tests {
 
     #[test]
     fn request_without_view_roundtrip() {
-        let msg = Msg::Request(ContentRequest {
+        let msg = Msg::request(ContentRequest {
             wave: 1,
             interval_nanos: 1,
             h: 1,
@@ -567,7 +564,7 @@ mod tests {
     #[test]
     fn control_roundtrip_with_parity_schedule() {
         let sched = mss_media::parity::esq(&PacketSeq::data_range(10), 2);
-        let msg = Msg::Control(ControlPacket {
+        let msg = Msg::control(ControlPacket {
             kind: ControlKind::Commit,
             from: PeerId(5),
             wave: 3,
@@ -598,7 +595,7 @@ mod tests {
     #[test]
     fn delta_control_roundtrip_preserves_additions() {
         let full = view_of(500, &[1, 2, 3, 90, 411]);
-        let msg = Msg::Control(ControlPacket {
+        let msg = Msg::control(ControlPacket {
             kind: ControlKind::Commit,
             from: PeerId(9),
             wave: 2,
@@ -647,7 +644,7 @@ mod tests {
         // divergence: the accounting charges SCHED_RECIPE_BYTES where
         // the demo codec writes `[len: u32]` + the materialized ids.
         let exact = [
-            Msg::Request(ContentRequest {
+            Msg::request(ContentRequest {
                 wave: 1,
                 interval_nanos: 9,
                 h: 3,
@@ -673,7 +670,7 @@ mod tests {
                 ok: false,
             }),
             Msg::TwoPhase(TwoPhase::Decision { commit: true }),
-            Msg::Assign(ScheduleAssignment {
+            Msg::assign(ScheduleAssignment {
                 part: 0,
                 parts: 2,
                 h: 2,
@@ -699,7 +696,7 @@ mod tests {
                 additions: vec![7, 64].into(),
             },
         ] {
-            let c = Msg::Control(ControlPacket {
+            let c = Msg::control(ControlPacket {
                 kind: ControlKind::Probe,
                 from: PeerId(2),
                 wave: 1,
@@ -730,13 +727,10 @@ mod tests {
         let content = ContentDesc::small(9, 20);
         let id = PacketId::parity_of(&[PacketId::Data(Seq(3)), PacketId::Data(Seq(4))]).unwrap();
         let pkt = content.materialize(&id);
-        let msg = Msg::Data(DataMsg {
-            from: PeerId(2),
-            packet: pkt.clone(),
-        });
+        let msg = Msg::data(PeerId(2), pkt.clone());
         match roundtrip(msg) {
             Msg::Data(d) => {
-                assert_eq!(d.packet, pkt);
+                assert_eq!(*d.packet, pkt);
             }
             other => panic!("wrong variant {other:?}"),
         }
@@ -782,7 +776,7 @@ mod tests {
 
     #[test]
     fn assign_roundtrip() {
-        let msg = Msg::Assign(ScheduleAssignment {
+        let msg = Msg::assign(ScheduleAssignment {
             part: 3,
             parts: 10,
             h: 9,
@@ -822,12 +816,9 @@ mod tests {
             row: 2,
         };
         let pkt = content.materialize(&id);
-        let msg = Msg::Data(DataMsg {
-            from: PeerId(1),
-            packet: pkt.clone(),
-        });
+        let msg = Msg::data(PeerId(1), pkt.clone());
         match roundtrip(msg) {
-            Msg::Data(d) => assert_eq!(d.packet, pkt),
+            Msg::Data(d) => assert_eq!(*d.packet, pkt),
             other => panic!("wrong variant {other:?}"),
         }
     }

@@ -117,9 +117,9 @@ mod tests {
     /// Drive a packet through the real codec, as the live poll loop
     /// does, then resolve it.
     fn through_codec(c: ControlPacket) -> ControlPacket {
-        let frame = crate::codec::encode(mss_sim::event::ActorId(4), &Msg::Control(c));
+        let frame = crate::codec::encode(mss_sim::event::ActorId(4), &Msg::control(c));
         match crate::codec::decode(&frame).expect("decodes").1 {
-            Msg::Control(c) => c,
+            Msg::Control(c) => *c,
             other => panic!("wrong variant {other:?}"),
         }
     }

@@ -23,12 +23,16 @@
 //!   binary heap and migrate into buckets — once, a few at a time — as
 //!   the window slides over them.
 //!
-//! Storage is a slab of nodes indexed by `u32` slots; a bucket is an
-//! intrusive singly-linked list (head/tail slot) threaded through the
-//! slab and kept sorted by `(time, seq)`. Nodes never move once
-//! allocated — inserts relink a few `u32`s — so the cost of an insert
-//! is independent of the payload size, and an empty bucket costs 8
-//! bytes, not an allocation. The overflow heap holds 24-byte keys only.
+//! Storage is a pair of parallel slabs indexed by `u32` slots — a hot
+//! slab of 24-byte scheduling keys (`time`, `seq`, intrusive `next`
+//! link) and a cold slab of payloads; a bucket is an intrusive
+//! singly-linked list (head/tail slot) threaded through the key slab
+//! and kept sorted by `(time, seq)`. Slots never move once allocated —
+//! inserts relink a few `u32`s — and every bucket walk, cursor scan,
+//! and rebuild streams through key cells only, so their cost is
+//! independent of the payload size and an insert touches the payload
+//! slab exactly once. An empty bucket costs 8 bytes, not an
+//! allocation. The overflow heap holds 24-byte keys only.
 //!
 //! The bucket width is auto-tuned (power-of-two widths, so indexing is
 //! a shift) from the observed inter-pop gap and the density of the
@@ -106,14 +110,23 @@ pub enum Event<M> {
 /// Sentinel slot: end of a bucket list / empty bucket.
 const NIL: u32 = u32::MAX;
 
-/// A slab cell: the scheduling key, the intrusive bucket-list link, and
-/// the payload. Never moves once allocated.
-struct Node<M> {
+/// The hot half of a slab slot: the scheduling key and the intrusive
+/// bucket-list link — everything a sorted-insert walk, a cursor scan,
+/// or an overflow migration needs. Kept in its own slab (parallel to
+/// the payload slab) so those walks stream through 24-byte cells
+/// regardless of how fat the payload type is; the payload is only
+/// touched on the final push/pop of a slot. Never moves once allocated.
+#[derive(Clone, Copy)]
+struct NodeKey {
     time: SimTime,
     seq: u64,
     next: u32,
-    event: Option<Event<M>>,
 }
+
+// Size regression gate (ISSUE 10): bucket-list walks and overflow
+// migration are engineered around 24-byte key cells (3 per cache line
+// with the padding word).
+const _: () = assert!(std::mem::size_of::<NodeKey>() <= 24);
 
 /// Scheduling key for the overflow heap: everything needed to order an
 /// event, plus the slab slot where its node lives.
@@ -169,9 +182,14 @@ const DEFAULT_SHIFT: u32 = 17;
 /// See the module docs for the calendar-queue layout and the
 /// determinism argument.
 pub struct EventQueue<M> {
-    /// Node slab; length is bounded by the high-water mark of
-    /// simultaneously pending events.
-    slab: Vec<Node<M>>,
+    /// Hot slab: scheduling keys + intrusive links, indexed by slot.
+    /// Length is bounded by the high-water mark of simultaneously
+    /// pending events. Split from `vals` (SoA) so bucket walks touch
+    /// only 24-byte cells.
+    keys: Vec<NodeKey>,
+    /// Cold slab: event payloads, parallel to `keys` (`None` = free
+    /// slot). Touched only when a slot is filled or drained.
+    vals: Vec<Option<Event<M>>>,
     /// Free slab slots, reused LIFO (deterministic, cache-warm).
     free: Vec<u32>,
     /// Bucket list heads (`NIL` = empty), circularly indexed.
@@ -211,7 +229,8 @@ pub struct EventQueue<M> {
 impl<M> Default for EventQueue<M> {
     fn default() -> Self {
         EventQueue {
-            slab: Vec::new(),
+            keys: Vec::new(),
+            vals: Vec::new(),
             free: Vec::new(),
             heads: vec![NIL; MIN_BUCKETS],
             tails: vec![NIL; MIN_BUCKETS],
@@ -255,7 +274,9 @@ impl<M> EventQueue<M> {
         if target > self.nb * 2 && self.nb < MAX_BUCKETS {
             self.rebuild(target);
         }
-        self.slab.reserve(target.saturating_sub(self.slab.len()));
+        let grow = target.saturating_sub(self.keys.len());
+        self.keys.reserve(grow);
+        self.vals.reserve(grow);
     }
 
     /// Schedule `event` at absolute time `at`.
@@ -264,21 +285,22 @@ impl<M> EventQueue<M> {
         self.next_seq += 1;
         let slot = match self.free.pop() {
             Some(s) => {
-                let n = &mut self.slab[s as usize];
-                n.time = at;
-                n.seq = seq;
-                n.next = NIL;
-                n.event = Some(event);
-                s
-            }
-            None => {
-                self.slab.push(Node {
+                self.keys[s as usize] = NodeKey {
                     time: at,
                     seq,
                     next: NIL,
-                    event: Some(event),
+                };
+                self.vals[s as usize] = Some(event);
+                s
+            }
+            None => {
+                self.keys.push(NodeKey {
+                    time: at,
+                    seq,
+                    next: NIL,
                 });
-                (self.slab.len() - 1) as u32
+                self.vals.push(Some(event));
+                (self.keys.len() - 1) as u32
             }
         };
         if self.len == 0 {
@@ -306,7 +328,7 @@ impl<M> EventQueue<M> {
         if !self.settle() {
             return None;
         }
-        Some(self.slab[self.heads[self.cursor] as usize].time)
+        Some(self.keys[self.heads[self.cursor] as usize].time)
     }
 
     /// Remove and return the earliest pending event.
@@ -322,13 +344,13 @@ impl<M> EventQueue<M> {
             return None;
         }
         let slot = self.heads[self.cursor];
-        let node = &mut self.slab[slot as usize];
-        let t = node.time;
+        let k = self.keys[slot as usize];
+        let t = k.time;
         if t > limit {
             return None;
         }
-        let event = node.event.take().expect("slot occupied");
-        let next = node.next;
+        let event = self.vals[slot as usize].take().expect("slot occupied");
+        let next = k.next;
         self.heads[self.cursor] = next;
         if next == NIL {
             self.occ_clear(self.cursor);
@@ -425,32 +447,32 @@ impl<M> EventQueue<M> {
             self.occ_set(i);
             // Re-filed keys (rebuild, overflow migration) carry a stale
             // link from their previous list; sever it.
-            self.slab[k.slot as usize].next = NIL;
+            self.keys[k.slot as usize].next = NIL;
             self.heads[i] = k.slot;
             self.tails[i] = k.slot;
         } else {
             let tail = self.tails[i];
-            let tn = &self.slab[tail as usize];
+            let tn = self.keys[tail as usize];
             if (tn.time, tn.seq) < ord {
-                self.slab[k.slot as usize].next = NIL;
-                self.slab[tail as usize].next = k.slot;
+                self.keys[k.slot as usize].next = NIL;
+                self.keys[tail as usize].next = k.slot;
                 self.tails[i] = k.slot;
             } else {
                 let mut prev = NIL;
                 let mut cur = head;
                 while cur != NIL {
-                    let c = &self.slab[cur as usize];
+                    let c = self.keys[cur as usize];
                     if (c.time, c.seq) > ord {
                         break;
                     }
                     prev = cur;
                     cur = c.next;
                 }
-                self.slab[k.slot as usize].next = cur;
+                self.keys[k.slot as usize].next = cur;
                 if prev == NIL {
                     self.heads[i] = k.slot;
                 } else {
-                    self.slab[prev as usize].next = k.slot;
+                    self.keys[prev as usize].next = k.slot;
                 }
             }
         }
@@ -537,7 +559,7 @@ impl<M> EventQueue<M> {
             // (one lap of the window), so the first occupied bucket
             // holds the earliest key; re-aim the window at its slice.
             let i = self.occ_next(self.cursor).expect("bucketed > 0");
-            let head_t = self.slab[self.heads[i] as usize].time.0;
+            let head_t = self.keys[self.heads[i] as usize].time.0;
             self.aim_at(head_t);
             debug_assert_eq!(self.cursor, i, "head key outside its slice");
         } else {
@@ -564,7 +586,7 @@ impl<M> EventQueue<M> {
         while let Some(i) = self.occ_word_next(&mut w) {
             let mut cur = self.heads[i];
             while cur != NIL {
-                let n = &self.slab[cur as usize];
+                let n = self.keys[cur as usize];
                 scratch.push(Key {
                     time: n.time,
                     seq: n.seq,
@@ -667,6 +689,18 @@ mod tests {
             Event::Timer { tag, .. } => tag,
             _ => panic!("expected timer"),
         }
+    }
+
+    /// Runtime mirror of the compile-time `NodeKey` width assert:
+    /// bucket walks touch only the hot key slab, so its per-slot cost
+    /// is pinned here where a regression reports the measured width.
+    #[test]
+    fn size_regression() {
+        assert_eq!(
+            std::mem::size_of::<NodeKey>(),
+            24,
+            "hot scheduling key grew; bucket walks drag more cache"
+        );
     }
 
     #[test]

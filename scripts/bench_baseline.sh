@@ -30,6 +30,13 @@ export CARGO_NET_OFFLINE=true
 out="${1:-BENCH_kernel.json}"
 history="results/bench_history.jsonl"
 
+# Hardware provenance for every recorded entry: the ROADMAP's
+# "re-measure scaling on real hardware" caveat is machine-checkable
+# when each line says how many cores it had (shards>1 speedups on a
+# 1-core box are working-set effects, not parallelism).
+cores=$(nproc 2>/dev/null || echo 0)
+cpu=$(awk -F': ' '/^model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null || echo unknown)
+
 # Benches run with stderr passed through: a missing bench target or a
 # compile error must fail this script, not vanish into a null redirect.
 run_bench() {
@@ -47,6 +54,8 @@ views_raw=$(run_bench view_codec)
 {
     printf '{\n'
     printf '  "recorded": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    printf '  "cores": %s,\n' "$cores"
+    printf '  "cpu": "%s",\n' "$cpu"
     if [ -n "${BENCH_NOTE:-}" ]; then
         printf '  "note": "%s",\n' "$BENCH_NOTE"
     fi
@@ -184,8 +193,8 @@ record_live_scale() {
         exit 1
     fi
     {
-        printf '{"commit": "%s", "recorded": "%s", "bench": "live_scale", "mmsg": %s, "events_per_sec": {' \
-            "$commit" "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+        printf '{"commit": "%s", "recorded": "%s", "bench": "live_scale", "cores": %s, "cpu": "%s", "mmsg": %s, "events_per_sec": {' \
+            "$commit" "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$cores" "$cpu" \
             "$([ "${MSS_NO_MMSG:-0}" = "1" ] && echo false || echo true)"
         # runtime,protocol,n,wall_s,done_s,msgs,events_per_sec,...
         awk -F, 'NR > 1 {
@@ -223,8 +232,8 @@ record_view_bytes() {
         exit 1
     fi
     {
-        printf '{"commit": "%s", "recorded": "%s", "bench": "view_bytes", "bytes_per_peer_round": {' \
-            "$commit" "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+        printf '{"commit": "%s", "recorded": "%s", "bench": "view_bytes", "cores": %s, "cpu": "%s", "bytes_per_peer_round": {' \
+            "$commit" "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$cores" "$cpu"
         # protocol,n,rounds,model_B,full_B,delta_B,model_B_ppr,full_B_ppr,delta_B_ppr,...
         awk -F, 'NR > 1 {
             key = sprintf("%s/n%s", $1, $2)
@@ -256,8 +265,8 @@ if [ ! -s "$scaling_csv" ]; then
     exit 1
 fi
 {
-    printf '{"commit": "%s", "recorded": "%s", "bench": "scaling", "events_per_sec": {' \
-        "$commit" "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    printf '{"commit": "%s", "recorded": "%s", "bench": "scaling", "cores": %s, "cpu": "%s", "events_per_sec": {' \
+        "$commit" "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$cores" "$cpu"
     # protocol,n,shards,events,wall_s,events_per_sec,activated,complete,imbalance
     awk -F, 'NR > 1 {
         key = sprintf("%s/n%s/shards%s", $1, $2, $3)

@@ -20,6 +20,13 @@ cargo test -q
 echo "==> full workspace tests"
 cargo test -q --workspace
 
+echo "==> event memory plane: size-regression gates (Msg / Event / NodeKey)"
+# Compile-time asserts in mss-core::msg and mss-sim::event are the hard
+# floor; these named tests re-measure at runtime so a width regression
+# reports the actual size instead of an opaque const-eval build error.
+cargo test -q -p mss-core --lib size_regression
+cargo test -q -p mss-sim --lib size_regression
+
 echo "==> event-queue property tests (calendar queue vs reference model)"
 cargo test -q -p mss-sim --test properties
 
@@ -50,6 +57,15 @@ timeout 300 cargo test --release -q -p mss-net --lib live -- --include-ignored \
     || { echo "verify.sh: live-plane smoke failed" >&2; exit 1; }
 MSS_NO_MMSG=1 timeout 300 cargo test --release -q -p mss-net --lib live -- --include-ignored \
     || { echo "verify.sh: live-plane fallback smoke failed" >&2; exit 1; }
+
+echo "==> large-world smoke (n=10^4, 2 shards, time-bounded)"
+# Exercises the compact memory plane end to end: the example asserts
+# >=99.5% peer activation and prints peak RSS, so a queue-layout or
+# payload-pooling bug that only shows at scale fails here rather than
+# in the (slow) n=10^6 profiling run.
+cargo build --release -q --example large_world
+timeout 120 ./target/release/examples/large_world 10000 2 dcop >/dev/null \
+    || { echo "verify.sh: large-world smoke failed" >&2; exit 1; }
 
 echo "==> bench smoke (each benchmark runs once in test mode)"
 cargo bench -p mss-bench -- --test
